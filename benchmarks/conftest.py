@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one table/figure of the
+paper's evaluation (§8) or an ablation called out in DESIGN.md.  The
+simulated experiments run once per benchmark (they are deterministic);
+microbenchmarks of the hot code paths use normal pytest-benchmark
+statistics.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Reduced default scale for benchmark runs: a 1024x4096 x 8B array
+#: (32 MiB) keeps the full suite under ~2 minutes while preserving every
+#: ordering (see EXPERIMENTS.md for full-scale 128 MiB numbers).
+BENCH_SHAPE = (1024, 4096)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,61 @@
+"""Ablation — request combination benefit vs server count.
+
+DESIGN.md: combination folds a processor's per-brick requests into one
+request per server, so its benefit should grow with the number of
+requests it eliminates and shrink once per-server streams get small.
+"""
+
+from conftest import BENCH_SHAPE
+
+from repro.core import FileLevel, RoundRobin
+from repro.netsim import CLASS1
+from repro.perf import WorkloadSpec, build_workload, run_workload
+
+SERVER_COUNTS = [2, 4, 8]
+
+
+def sweep():
+    out = {}
+    for nservers in SERVER_COUNTS:
+        for combine in (False, True):
+            spec = WorkloadSpec(
+                level=FileLevel.LINEAR,
+                combine=combine,
+                nprocs=8,
+                nservers=nservers,
+                array_shape=BENCH_SHAPE,
+                element_size=8,
+            )
+            workload = build_workload(spec, RoundRobin(nservers))
+            out[(nservers, combine)] = run_workload(
+                workload, [CLASS1] * nservers
+            )
+    return out
+
+
+def test_combination_vs_server_count(once):
+    results = once(sweep)
+    print()
+    print("Ablation — request combination (linear level, class 1, 8 CN)")
+    print(f"{'servers':>8} {'plain MB/s':>11} {'combined MB/s':>14} {'requests saved':>15}")
+    for nservers in SERVER_COUNTS:
+        plain = results[(nservers, False)]
+        combined = results[(nservers, True)]
+        saved = plain.total_requests - combined.total_requests
+        print(
+            f"{nservers:>8} {plain.bandwidth_mbps:>11.2f} "
+            f"{combined.bandwidth_mbps:>14.2f} {saved:>15}"
+        )
+        # combination always wins on the request-heavy linear level
+        assert combined.bandwidth_mbps >= plain.bandwidth_mbps
+        # and by construction cuts requests to nprocs x nservers
+        assert combined.total_requests == 8 * nservers
+
+    # the *relative* gain is largest where the most requests are folded
+    gain2 = (
+        results[(2, True)].bandwidth_mbps / results[(2, False)].bandwidth_mbps
+    )
+    gain8 = (
+        results[(8, True)].bandwidth_mbps / results[(8, False)].bandwidth_mbps
+    )
+    assert gain2 > 1.0 and gain8 > 1.0

@@ -1,0 +1,47 @@
+"""Ablation — shared-medium (class 2) vs switched (class 1/3) scaling.
+
+DESIGN.md: a shared 10 Mb Ethernet is one wire no matter how many
+servers hang off it, while switched classes add capacity per server.
+This is why Figs. 11→12 scale for classes 1 and 3 but not class 2.
+"""
+
+from conftest import BENCH_SHAPE
+
+from repro.core import FileLevel, RoundRobin
+from repro.netsim import CLASS1, CLASS2
+from repro.perf import WorkloadSpec, build_workload, run_workload
+
+COUNTS = [2, 4, 8]
+
+
+def sweep(cls):
+    out = {}
+    for nservers in COUNTS:
+        spec = WorkloadSpec(
+            level=FileLevel.ARRAY,
+            combine=True,
+            nprocs=8,
+            nservers=nservers,
+            array_shape=BENCH_SHAPE,
+            element_size=8,
+        )
+        workload = build_workload(spec, RoundRobin(nservers))
+        out[nservers] = run_workload(workload, [cls] * nservers)
+    return out
+
+
+def test_shared_medium_does_not_scale(once):
+    switched, shared = once(lambda: (sweep(CLASS1), sweep(CLASS2)))
+    print()
+    print("Ablation — server-count scaling (array level, 8 CN)")
+    print(f"{'servers':>8} {'class1 MB/s':>12} {'class2 MB/s':>12}")
+    for n in COUNTS:
+        print(
+            f"{n:>8} {switched[n].bandwidth_mbps:>12.2f} "
+            f"{shared[n].bandwidth_mbps:>12.2f}"
+        )
+
+    # switched class: adding servers adds disk arms → bandwidth grows
+    assert switched[8].bandwidth_mbps > 1.4 * switched[2].bandwidth_mbps
+    # shared medium: the wire is the bottleneck; scaling is flat (±10%)
+    assert shared[8].bandwidth_mbps <= 1.1 * shared[2].bandwidth_mbps

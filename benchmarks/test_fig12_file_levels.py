@@ -1,0 +1,35 @@
+"""Figure 12 — file-level comparison at doubled scale (16 compute
+nodes, 8 I/O nodes).
+
+Paper shape: same orderings as Fig. 11 with roughly doubled aggregate
+bandwidth for the array level (their y-axis grows from 8 to 16 MB/s).
+"""
+
+from conftest import BENCH_SHAPE
+
+from repro.perf import figure11, figure12, render_file_level
+
+
+def test_figure12(once):
+    def both():
+        return figure11(BENCH_SHAPE), figure12(BENCH_SHAPE)
+
+    small, large = once(both)
+    print()
+    print(render_file_level(large, "Figure 12 — File Level Comparisons"))
+
+    for class_id in (1, 3):
+        linear = large.bandwidth(class_id, "Linear")
+        mdim = large.bandwidth(class_id, "Multi-dim")
+        array = large.bandwidth(class_id, "Array")
+        assert linear < mdim <= array * 1.001
+        # the multidim/linear gap widens with more processors (more
+        # wasted whole-file reads per processor under linear striping)
+        assert mdim / linear >= 6.0
+
+    # doubling compute + I/O nodes scales the array level up
+    assert (
+        large.bandwidth(1, "Array") > 1.5 * small.bandwidth(1, "Array")
+    )
+    # the shared 10 Mb medium (class 2) cannot scale — it is the wire
+    assert large.bandwidth(2, "Array") <= 1.1 * small.bandwidth(2, "Array")

@@ -1,0 +1,36 @@
+"""Figure 13 — greedy vs round-robin placement on heterogeneous storage
+(8 compute nodes, 8 I/O nodes; half class 1, half class 3; multidim
+file under (BLOCK, *), reads and writes, combined and not).
+
+Paper shape: greedy beats round-robin on every bar; request combination
+adds further improvement; reads a bit faster than writes.
+"""
+
+from conftest import BENCH_SHAPE
+
+from repro.perf import figure13, render_placement
+
+
+def test_figure13(once):
+    series = once(figure13, BENCH_SHAPE)
+    print()
+    print(render_placement(series, "Figure 13 — Striping Algorithm Comparison"))
+
+    for label in ("Write", "Combined Write", "Read", "Combined Read"):
+        rr = series.bandwidth("round_robin", label)
+        greedy = series.bandwidth("greedy", label)
+        assert greedy > rr, f"greedy should win for {label}"
+
+    # combination is the further improvement the paper notes
+    for algo in ("round_robin", "greedy"):
+        assert series.bandwidth(algo, "Combined Write") > series.bandwidth(
+            algo, "Write"
+        )
+        assert series.bandwidth(algo, "Combined Read") > series.bandwidth(
+            algo, "Read"
+        )
+
+    # reads outpace writes (write rates are lower on every device)
+    assert series.bandwidth("greedy", "Read") > series.bandwidth(
+        "greedy", "Write"
+    )

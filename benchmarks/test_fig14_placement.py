@@ -1,0 +1,32 @@
+"""Figure 14 — greedy vs round-robin at doubled scale (16 compute
+nodes, 16 I/O nodes; half class 1, half class 3).
+
+Paper shape: same orderings as Fig. 13 at higher absolute bandwidth.
+"""
+
+from conftest import BENCH_SHAPE
+
+from repro.perf import figure13, figure14, render_placement
+
+
+def test_figure14(once):
+    def both():
+        return figure13(BENCH_SHAPE), figure14(BENCH_SHAPE)
+
+    small, large = once(both)
+    print()
+    print(render_placement(large, "Figure 14 — Striping Algorithm Comparison"))
+
+    for label in ("Write", "Combined Write", "Read", "Combined Read"):
+        assert large.bandwidth("greedy", label) > large.bandwidth(
+            "round_robin", label
+        ), f"greedy should win for {label}"
+
+    # more nodes → more aggregate bandwidth (uncombined configs scale
+    # with the device count)
+    assert large.bandwidth("greedy", "Read") > small.bandwidth(
+        "greedy", "Read"
+    )
+    assert large.bandwidth("round_robin", "Write") > small.bandwidth(
+        "round_robin", "Write"
+    )

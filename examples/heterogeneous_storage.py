@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Aggregating heterogeneous storage with greedy placement (§4.1, §8.2).
+
+The scenario the paper opens with: a computing site has fast local disks
+plus slower storage across a metropolitan network.  DPFS pools them, and
+the greedy striping algorithm gives faster devices proportionally more
+bricks (normalized performance numbers: fastest = 1).
+
+This example builds a *simulated* pool — 4 class-1 servers (fast, local)
+and 4 class-3 servers (about 3x slower per brick, across a WAN) — and
+writes the same file twice, with round-robin and with greedy placement.
+The simulated clock shows the makespan difference; the bricklists show
+the 3:1 allocation of §8.2.
+
+Run:  python examples/heterogeneous_storage.py
+"""
+
+import numpy as np
+
+from repro import DPFS, Hint
+from repro.backends.simulated import SimulatedBackend
+from repro.netsim import CLASS1, CLASS3
+
+
+def build_fs() -> DPFS:
+    backend = SimulatedBackend([CLASS1] * 4 + [CLASS3] * 4)
+    return DPFS(backend)
+
+
+def run(placement: str) -> tuple[float, list[int]]:
+    fs = build_fs()
+    shape = (512, 512)
+    hint = Hint.multidim(
+        shape, 8, (64, 64), placement=placement
+    )
+    data = np.random.default_rng(1).random(shape)
+    t0 = fs.backend.clock
+    with fs.open("/bulk", "w", hint=hint) as f:
+        f.write_array((0, 0), data)
+        counts = f.brick_map.bricks_per_server()
+    write_time = fs.backend.clock - t0
+
+    # read it back to double-check integrity on the heterogeneous pool
+    with fs.open("/bulk", "r") as f:
+        got = f.read_array((0, 0), shape, np.float64)
+    assert np.array_equal(got, data)
+    return write_time, counts
+
+
+def main() -> None:
+    print("storage pool: 4x class 1 (ANL LAN, perf=1) + "
+          "4x class 3 (NWU ATM+WAN, perf=3)\n")
+
+    rr_time, rr_counts = run("round_robin")
+    print("round-robin placement:")
+    print(f"  bricks/server: {rr_counts}")
+    print(f"  simulated write time: {rr_time:8.2f} s")
+
+    greedy_time, greedy_counts = run("greedy")
+    print("greedy placement (Fig. 8):")
+    print(f"  bricks/server: {greedy_counts}")
+    print(f"  simulated write time: {greedy_time:8.2f} s")
+
+    fast = sum(greedy_counts[:4]) / 4
+    slow = sum(greedy_counts[4:]) / 4
+    print(f"\ngreedy gave each fast server {fast:.0f} bricks vs {slow:.0f} "
+          f"per slow server — the 3:1 split §8.2 describes")
+    print(f"speedup over round-robin: {rr_time / greedy_time:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""MPI-IO over DPFS: file views, data sieving, two-phase collective I/O.
+
+The paper closes (§10) by proposing DPFS "as a low level system to
+service a high level interface such as MPI-IO".  This example runs that
+stack: four logical ranks share one DPFS file through MPI-style *file
+views* ((*, BLOCK) column panels — the interleaved worst case), and the
+same write is issued three ways:
+
+  independent  one request per hole-separated stripe per rank,
+  sieved       read-modify-write of each rank's covering window,
+  collective   two-phase I/O: domains are exchanged in memory and
+               aggregators write a few large sequential runs.
+
+Run:  python examples/mpi_io_collective.py
+"""
+
+import numpy as np
+
+from repro import DPFS, Hint
+from repro.backends.simulated import SimulatedBackend
+from repro.datatypes import FLOAT64, Subarray
+from repro.mpiio import FileView, MPIFile, SieveConfig
+from repro.netsim import CLASS1
+
+N = 256
+NPROCS = 4
+
+
+def fresh_fs() -> DPFS:
+    return DPFS(SimulatedBackend([CLASS1] * 4))
+
+
+def column_view(rank: int) -> FileView:
+    width = N // NPROCS
+    filetype = Subarray((N, N), (N, width), (0, rank * width), FLOAT64)
+    return FileView(etype=FLOAT64, filetype=filetype)
+
+
+def run(strategy: str, array: np.ndarray) -> tuple[float, int]:
+    fs = fresh_fs()
+    hint = Hint.linear(file_size=N * N * 8, brick_size=64 * 1024)
+    width = N // NPROCS
+    buffers = [
+        np.ascontiguousarray(array[:, r * width : (r + 1) * width]).tobytes()
+        for r in range(NPROCS)
+    ]
+    with MPIFile.open(fs, "/matrix", "w", nprocs=NPROCS, hint=hint) as mf:
+        for rank in range(NPROCS):
+            mf.set_view(rank, column_view(rank))
+        t0 = fs.backend.clock
+        if strategy == "independent":
+            for rank in range(NPROCS):
+                mf.write_at(rank, 0, buffers[rank], sieving=False)
+        elif strategy == "sieved":
+            mf.sieve = SieveConfig(buffer_bytes=1 << 22, min_useful_fraction=0.1)
+            for rank in range(NPROCS):
+                mf.write_at(rank, 0, buffers[rank])
+        else:
+            mf.write_at_all([0] * NPROCS, buffers)
+        elapsed = fs.backend.clock - t0
+        requests = mf.stats.requests
+    assert fs.read_file("/matrix") == array.tobytes(), "data corrupted!"
+    return elapsed, requests
+
+
+def main() -> None:
+    array = np.random.default_rng(42).random((N, N))
+    print(f"{NPROCS} ranks write a {N}x{N} float64 array through "
+          f"(*, BLOCK) column views\n")
+    print(f"{'strategy':>12} {'simulated s':>12} {'requests':>9}")
+    results = {}
+    for strategy in ("independent", "sieved", "collective"):
+        elapsed, requests = run(strategy, array)
+        results[strategy] = elapsed
+        print(f"{strategy:>12} {elapsed:>12.3f} {requests:>9}")
+    print(f"\ncollective speedup over independent: "
+          f"{results['independent'] / results['collective']:.1f}x — "
+          f"the two-phase win of the paper's refs [23][25], served by DPFS")
+
+
+if __name__ == "__main__":
+    main()

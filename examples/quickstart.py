@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart — mount a DPFS, stripe a file, read a column, inspect it.
+
+DPFS (Shen & Choudhary, ICPP 2001) aggregates distributed storage into a
+striped parallel file system.  This script shows the 90-second tour:
+
+1. mount an in-memory DPFS with 4 I/O nodes,
+2. create a *multidimensional* file (a 1024x1024 float64 array tiled
+   into 128x128 bricks) — the paper's novel striping method,
+3. write the array, read back a column block (the access pattern that
+   cripples linear striping), and
+4. peek at the metadata the embedded SQL database maintains.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import DPFS, Hint
+from repro.util import format_bytes
+
+
+def main() -> None:
+    # -- 1. mount ---------------------------------------------------------
+    fs = DPFS.memory(n_servers=4)
+    fs.makedirs("/home/demo")
+    print("mounted DPFS with I/O nodes:")
+    for row in fs.servers():
+        print(f"  [{row['server_id']}] {row['server_name']}"
+              f"  capacity={format_bytes(row['capacity'])}")
+
+    # -- 2. create with a hint (§6: the user knows her access pattern) ------
+    shape = (1024, 1024)
+    hint = Hint.multidim(shape, element_size=8, brick_shape=(128, 128))
+    field = np.random.default_rng(2001).random(shape)
+
+    with fs.open("/home/demo/field", "w", hint=hint) as f:
+        f.write_array((0, 0), field)
+        print(f"\nwrote {format_bytes(f.size)} as "
+              f"{len(f.brick_map)} bricks of 128x128 elements "
+              f"({f.stats.requests} combined requests)")
+
+    # -- 3. column access: the multidim striping pay-off --------------------
+    with fs.open("/home/demo/field", "r") as f:
+        column = f.read_array((0, 256), (1024, 128), np.float64)
+        assert np.array_equal(column, field[:, 256:384])
+        print(f"read a 1024x128 column block with {f.stats.requests} "
+              f"combined requests touching {f.stats.bricks_touched} bricks")
+
+    with fs.open("/home/demo/field", "r", combine=False) as f:
+        f.read_array((0, 256), (1024, 128), np.float64)
+        print(f"...the same read without request combination needs "
+              f"{f.stats.requests} requests (§4.2)")
+
+    # -- 4. metadata lives in SQL tables (§5) --------------------------------
+    print("\nDPFS-FILE-ATTR row:")
+    st = fs.stat("/home/demo/field")
+    print(f"  file={st['filename']}  level={st['filelevel']}  "
+          f"size={st['size']}  permission={st['permission']:03o}")
+    print("DPFS-FILE-DISTRIBUTION bricklists:")
+    _record, bmap = fs.meta.load_file("/home/demo/field")
+    for server, bricks in enumerate(bmap.to_lists()):
+        print(f"  server {server}: {len(bricks)} bricks, first few {bricks[:6]}")
+
+    # raw SQL works too — the metadata layer is a real database
+    count = fs.db.execute(
+        "SELECT COUNT(*) FROM dpfs_file_attr WHERE filelevel = 'multidim'"
+    ).scalar()
+    print(f"\nSQL says there are {count} multidim file(s). Done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation (§8).
+
+Runs the Figure 11-14 experiments on the calibrated simulated hardware
+and prints the bandwidth tables next to the paper's qualitative claims.
+Equivalent to `dpfs bench all`; kept as an example so the harness is
+visible as library code.
+
+Run:  python examples/reproduce_figures.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.perf import (
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    render_file_level,
+    render_placement,
+)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    shape = (512, 2048) if quick else (2048, 8192)
+    label = "quick 8 MiB workload" if quick else "default 128 MiB workload"
+    print(f"Reproducing §8 on the simulated testbed ({label})\n")
+
+    t0 = time.perf_counter()
+    fig11 = figure11(shape)
+    print(render_file_level(fig11, "Figure 11 — File Level Comparisons"))
+    ratio = fig11.bandwidth(1, "Multi-dim") / fig11.bandwidth(1, "Linear")
+    arr = fig11.bandwidth(1, "Array") / fig11.bandwidth(1, "Multi-dim")
+    print(f"paper: multidim 10-20x linear; array ~2x multidim")
+    print(f"ours : multidim {ratio:.1f}x linear; array {arr:.1f}x multidim\n")
+
+    fig12 = figure12(shape)
+    print(render_file_level(fig12, "Figure 12 — File Level Comparisons"))
+    scale = fig12.bandwidth(1, "Array") / fig11.bandwidth(1, "Array")
+    print(f"paper: doubling nodes roughly doubles bandwidth (8 -> 16 MB/s)")
+    print(f"ours : array level scaled {scale:.1f}x from Fig. 11 to Fig. 12\n")
+
+    fig13 = figure13(shape)
+    print(render_placement(fig13, "Figure 13 — Striping Algorithm Comparison"))
+    gain = fig13.bandwidth("greedy", "Combined Read") / fig13.bandwidth(
+        "round_robin", "Combined Read"
+    )
+    print(f"paper: greedy 'improved obviously' over round-robin")
+    print(f"ours : greedy {gain:.2f}x round-robin on combined reads\n")
+
+    fig14 = figure14(shape)
+    print(render_placement(fig14, "Figure 14 — Striping Algorithm Comparison"))
+    gain = fig14.bandwidth("greedy", "Combined Read") / fig14.bandwidth(
+        "round_robin", "Combined Read"
+    )
+    print(f"ours : greedy {gain:.2f}x round-robin at 16/16 nodes")
+    print(f"\ntotal harness time: {time.perf_counter() - t0:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

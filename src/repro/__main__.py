@@ -1,0 +1,7 @@
+"""``python -m repro`` — same as the ``dpfs`` console script."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,18 @@
+"""Storage backends: memory, local-directory, remote-TCP, simulated,
+plus a fault-injection wrapper for tests."""
+
+from .base import ServerInfo, StorageBackend
+from .faulty import FaultyBackend, InjectedFault
+from .local import LocalBackend
+from .memory import MemoryBackend
+from .simulated import SimulatedBackend
+
+__all__ = [
+    "StorageBackend",
+    "ServerInfo",
+    "MemoryBackend",
+    "LocalBackend",
+    "SimulatedBackend",
+    "FaultyBackend",
+    "InjectedFault",
+]

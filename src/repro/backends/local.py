@@ -1,0 +1,179 @@
+"""Directory-backed storage backend.
+
+Each DPFS server is a directory on the local machine; subfiles are
+regular files inside it.  This mirrors the paper's deployment — the
+DPFS server "is built on top of the local file system of each storage
+resource ... and can take advantage of I/O optimizations such as
+caching and prefetching of the local file system" — collapsed onto one
+host for reproducibility.
+
+Subfile names (DPFS paths like ``/home/xhshen/dpfs.test``) are escaped
+into flat file names.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+from collections.abc import Sequence
+
+from ..errors import FileSystemError
+from ..util import Extent
+from .base import ServerInfo, StorageBackend
+
+__all__ = ["LocalBackend", "escape_subfile_name", "unescape_subfile_name"]
+
+
+def escape_subfile_name(name: str) -> str:
+    """Escape a DPFS path into a safe flat file name.
+
+    ``%`` escapes itself so the mapping is injective:
+    ``/a/b`` → ``%2Fa%2Fb``-style but readable: we use ``__`` for ``/``
+    and ``%`` escapes for the two metacharacters.
+    """
+    out = []
+    for ch in name:
+        if ch == "%":
+            out.append("%25")
+        elif ch == "/":
+            out.append("%2F")
+        elif ch == "\x00":
+            raise FileSystemError("NUL byte in subfile name")
+        else:
+            out.append(ch)
+    return "".join(out) or "%empty"
+
+
+def unescape_subfile_name(name: str) -> str:
+    """Inverse of :func:`escape_subfile_name`."""
+    if name == "%empty":
+        return ""
+    out = []
+    i = 0
+    while i < len(name):
+        if name.startswith("%2F", i):
+            out.append("/")
+            i += 3
+        elif name.startswith("%25", i):
+            out.append("%")
+            i += 3
+        else:
+            out.append(name[i])
+            i += 1
+    return "".join(out)
+
+
+class LocalBackend(StorageBackend):
+    """Servers are subdirectories ``server_0 .. server_{n-1}`` of a root."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        n_servers: int,
+        *,
+        capacity: int = 1 << 30,
+        performance: Sequence[float] | None = None,
+    ) -> None:
+        if n_servers < 1:
+            raise FileSystemError("need at least one server")
+        perf = list(performance) if performance is not None else [1.0] * n_servers
+        if len(perf) != n_servers:
+            raise FileSystemError("performance list length mismatch")
+        self.root = Path(root)
+        self._dirs = [self.root / f"server_{i}" for i in range(n_servers)]
+        for d in self._dirs:
+            d.mkdir(parents=True, exist_ok=True)
+        self._servers = [
+            ServerInfo(
+                name=f"local:{self._dirs[i].name}",
+                capacity=capacity,
+                performance=perf[i],
+            )
+            for i in range(n_servers)
+        ]
+
+    @property
+    def servers(self) -> list[ServerInfo]:
+        return list(self._servers)
+
+    def _path(self, server: int, name: str) -> Path:
+        self._check_server(server)
+        return self._dirs[server] / escape_subfile_name(name)
+
+    # -- lifecycle -----------------------------------------------------------
+    def create_subfile(self, server: int, name: str) -> None:
+        self._path(server, name).touch()
+
+    def delete_subfile(self, server: int, name: str) -> None:
+        path = self._path(server, name)
+        if path.exists():
+            path.unlink()
+
+    def subfile_exists(self, server: int, name: str) -> bool:
+        return self._path(server, name).exists()
+
+    def rename_subfile(self, server: int, old: str, new: str) -> None:
+        src = self._path(server, old)
+        if src.exists():
+            src.replace(self._path(server, new))
+
+    def list_subfiles(self, server: int) -> list[str]:
+        self._check_server(server)
+        return sorted(
+            unescape_subfile_name(p.name)
+            for p in self._dirs[server].iterdir()
+            if p.is_file()
+        )
+
+    def subfile_size(self, server: int, name: str) -> int:
+        path = self._path(server, name)
+        if not path.exists():
+            raise FileSystemError(f"no subfile {name!r} on server {server}")
+        return path.stat().st_size
+
+    # -- I/O -----------------------------------------------------------------
+    def read_extents(
+        self, server: int, name: str, extents: Sequence[Extent]
+    ) -> bytes:
+        path = self._path(server, name)
+        if not path.exists():
+            raise FileSystemError(f"no subfile {name!r} on server {server}")
+        out = bytearray()
+        with open(path, "rb") as fh:
+            size = os.fstat(fh.fileno()).st_size
+            for off, ln in extents:
+                if off < 0 or ln < 0:
+                    raise FileSystemError(f"invalid extent ({off}, {ln})")
+                if off < size:
+                    fh.seek(off)
+                    chunk = fh.read(min(ln, size - off))
+                else:
+                    chunk = b""
+                if len(chunk) < ln:                   # sparse tail → zeros
+                    chunk += b"\x00" * (ln - len(chunk))
+                out += chunk
+        return bytes(out)
+
+    def write_extents(
+        self, server: int, name: str, extents: Sequence[Extent], data: bytes
+    ) -> None:
+        path = self._path(server, name)
+        if not path.exists():
+            raise FileSystemError(f"no subfile {name!r} on server {server}")
+        self._check_payload(extents, data)
+        pos = 0
+        with open(path, "r+b") as fh:
+            for off, ln in extents:
+                if off < 0 or ln < 0:
+                    raise FileSystemError(f"invalid extent ({off}, {ln})")
+                fh.seek(off)
+                fh.write(data[pos : pos + ln])
+                pos += ln
+
+    # -- extras ----------------------------------------------------------------
+    def wipe(self) -> None:
+        """Delete every subfile on every server (format helper)."""
+        for d in self._dirs:
+            shutil.rmtree(d)
+            d.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,160 @@
+"""Command-line entry points: ``dpfs shell | server | bench | figures``.
+
+``dpfs shell --root DIR``          interactive shell on a local-directory DPFS
+``dpfs server --root DIR --port P`` run one storage server (§2)
+``dpfs bench fig11|fig12|fig13|fig14|all``  regenerate the §8 figures
+``dpfs fsck --root DIR [--repair]`` check metadata/storage consistency
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dpfs",
+        description="DPFS — Distributed Parallel File System (ICPP 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    shell_p = sub.add_parser("shell", help="interactive DPFS shell (§7)")
+    shell_p.add_argument(
+        "--root", default="./dpfs-data", help="directory holding the server dirs"
+    )
+    shell_p.add_argument("--servers", type=int, default=4, help="number of I/O nodes")
+    shell_p.add_argument(
+        "-c", dest="command_line", default=None, help="run one command and exit"
+    )
+
+    server_p = sub.add_parser("server", help="run one DPFS storage server (§2)")
+    server_p.add_argument("--root", required=True, help="storage directory")
+    server_p.add_argument("--host", default="127.0.0.1")
+    server_p.add_argument("--port", type=int, default=7001)
+    server_p.add_argument("--performance", type=float, default=1.0)
+    server_p.add_argument("--capacity", type=int, default=1 << 30)
+
+    bench_p = sub.add_parser("bench", help="regenerate the §8 figures")
+    bench_p.add_argument(
+        "figure",
+        choices=["fig11", "fig12", "fig13", "fig14", "all"],
+        help="which figure to regenerate",
+    )
+    bench_p.add_argument(
+        "--rows", type=int, default=2048, help="array rows (elements)"
+    )
+    bench_p.add_argument(
+        "--cols", type=int, default=8192, help="array cols (elements)"
+    )
+
+    fsck_p = sub.add_parser("fsck", help="metadata/storage consistency check")
+    fsck_p.add_argument("--root", required=True, help="DPFS root directory")
+    fsck_p.add_argument("--servers", type=int, default=4)
+    fsck_p.add_argument(
+        "--repair", action="store_true", help="fix what can be fixed"
+    )
+    return parser
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from .core.filesystem import DPFS
+    from .errors import DPFSError
+    from .shell import Shell
+
+    fs = DPFS.local(args.root, n_servers=args.servers)
+    shell = Shell(fs)
+    if args.command_line is not None:
+        try:
+            output = shell.run_line(args.command_line)
+        except DPFSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if output:
+            print(output)
+        return 0
+    shell.repl()
+    return 0
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    from .net.server import DPFSServer
+
+    server = DPFSServer(
+        args.root,
+        host=args.host,
+        port=args.port,
+        capacity=args.capacity,
+        performance=args.performance,
+    )
+    server.start()
+    host, port = server.address
+    print(f"dpfs server on {host}:{port}, storage at {args.root} — Ctrl-C stops")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import (
+        figure11,
+        figure12,
+        figure13,
+        figure14,
+        render_file_level,
+        render_placement,
+    )
+
+    shape = (args.rows, args.cols)
+    wanted = (
+        ["fig11", "fig12", "fig13", "fig14"]
+        if args.figure == "all"
+        else [args.figure]
+    )
+    for fig in wanted:
+        if fig == "fig11":
+            print(render_file_level(figure11(shape), "Figure 11 — file levels"))
+        elif fig == "fig12":
+            print(render_file_level(figure12(shape), "Figure 12 — file levels"))
+        elif fig == "fig13":
+            print(render_placement(figure13(shape), "Figure 13 — placement"))
+        else:
+            print(render_placement(figure14(shape), "Figure 14 — placement"))
+        print()
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from .core import fsck
+    from .core.filesystem import DPFS
+
+    fs = DPFS.local(args.root, n_servers=args.servers)
+    report = fsck(fs, repair=args.repair)
+    print(report)
+    fs.close()
+    return 0 if report.clean or args.repair else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "shell":
+        return _cmd_shell(args)
+    if args.command == "server":
+        return _cmd_server(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
+    return _cmd_bench(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

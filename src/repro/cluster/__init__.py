@@ -1,0 +1,6 @@
+"""Mini MPI-style runtime: thread-per-rank communicators for emulating
+the paper's parallel client applications."""
+
+from .communicator import Communicator, ParallelError, run_parallel
+
+__all__ = ["Communicator", "ParallelError", "run_parallel"]

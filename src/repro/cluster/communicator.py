@@ -1,0 +1,195 @@
+"""A miniature MPI-style runtime on threads.
+
+The paper's client programs are MPI applications on an IBM SP2; tests
+and examples here emulate them with one thread per rank and an
+MPI-flavoured :class:`Communicator` (barrier, bcast, scatter, gather,
+allgather, allreduce, point-to-point send/recv).  Collectives follow
+mpi4py's lowercase-object conventions: any picklable value, root
+parameter, results returned from the call.
+
+    def program(comm, fs):
+        rank = comm.rank
+        data = comm.scatter([...], root=0)
+        ...
+        return comm.gather(result, root=0)
+
+    results = run_parallel(program, nprocs=8, fs=fs)
+
+This is a *single-process emulation* — ranks share memory and the GIL —
+adequate for driving DPFS request streams, not a performance tool.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable
+
+from ..errors import DPFSError
+
+__all__ = ["Communicator", "run_parallel", "ParallelError"]
+
+
+class ParallelError(DPFSError):
+    """A rank raised; carries every rank's failure."""
+
+    def __init__(self, failures: dict[int, BaseException]) -> None:
+        detail = "; ".join(
+            f"rank {rank}: {exc!r}" for rank, exc in sorted(failures.items())
+        )
+        super().__init__(f"{len(failures)} rank(s) failed: {detail}")
+        self.failures = failures
+
+
+class _Shared:
+    """State shared by all ranks of one communicator."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.lock = threading.Lock()
+        self.slots: dict[tuple[int, int], Any] = {}
+        # point-to-point mailboxes: (dest, tag) → queue
+        self.mailboxes: dict[tuple[int, int], queue.Queue] = {}
+
+    def mailbox(self, dest: int, tag: int) -> queue.Queue:
+        with self.lock:
+            key = (dest, tag)
+            box = self.mailboxes.get(key)
+            if box is None:
+                box = queue.Queue()
+                self.mailboxes[key] = box
+            return box
+
+
+class Communicator:
+    """One rank's endpoint (mpi4py-flavoured lowercase API)."""
+
+    def __init__(self, rank: int, shared: _Shared) -> None:
+        self.rank = rank
+        self._shared = shared
+        #: per-rank collective sequence number.  MPI requires all ranks
+        #: to issue collectives in the same order, so equal sequence
+        #: numbers across ranks always denote the same operation.
+        self._seq = 0
+
+    @property
+    def size(self) -> int:
+        return self._shared.size
+
+    # -- synchronization ------------------------------------------------------
+    def barrier(self) -> None:
+        self._shared.barrier.wait()
+
+    def _exchange(self, name: str, value: Any) -> list[Any]:
+        """All-to-all building block: deposit, sync, read all, sync.
+
+        Keys are (sequence, rank), so a following collective — even one
+        of the same kind — never collides with this one's slots.
+        """
+        shared = self._shared
+        seq = self._seq
+        self._seq += 1
+        with shared.lock:
+            shared.slots[(seq, self.rank)] = value
+        shared.barrier.wait()
+        values = [shared.slots[(seq, r)] for r in range(shared.size)]
+        shared.barrier.wait()
+        # everyone has read; each rank reclaims its own slot
+        with shared.lock:
+            shared.slots.pop((seq, self.rank), None)
+        return values
+
+    # -- collectives ------------------------------------------------------------
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        values = self._exchange("bcast", value if self.rank == root else None)
+        return values[root]
+
+    def scatter(self, values: list[Any] | None, root: int = 0) -> Any:
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise DPFSError(
+                    f"scatter needs exactly {self.size} values at the root"
+                )
+        deposited = self._exchange("scatter", values if self.rank == root else None)
+        return deposited[root][self.rank]
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        values = self._exchange("gather", value)
+        return values if self.rank == root else None
+
+    def allgather(self, value: Any) -> list[Any]:
+        return self._exchange("allgather", value)
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        values = self._exchange("allreduce", value)
+        if op is None:
+            result = values[0]
+            for v in values[1:]:
+                result = result + v
+            return result
+        result = values[0]
+        for v in values[1:]:
+            result = op(result, v)
+        return result
+
+    # -- point-to-point ------------------------------------------------------------
+    def send(self, value: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise DPFSError(f"dest {dest} outside [0, {self.size})")
+        self._shared.mailbox(dest, tag).put((self.rank, value))
+
+    def recv(self, source: int | None = None, tag: int = 0, timeout: float = 30.0) -> Any:
+        box = self._shared.mailbox(self.rank, tag)
+        while True:
+            try:
+                sender, value = box.get(timeout=timeout)
+            except queue.Empty:
+                raise DPFSError(
+                    f"rank {self.rank} recv(tag={tag}) timed out"
+                ) from None
+            if source is None or sender == source:
+                return value
+            box.put((sender, value))  # not ours: requeue
+
+
+def run_parallel(
+    program: Callable[..., Any],
+    nprocs: int,
+    *args: Any,
+    timeout: float = 60.0,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``program(comm, *args, **kwargs)`` on ``nprocs`` rank threads.
+
+    Returns each rank's return value in rank order; raises
+    :class:`ParallelError` if any rank raised (after joining all).
+    """
+    if nprocs < 1:
+        raise DPFSError("nprocs must be >= 1")
+    shared = _Shared(nprocs)
+    results: list[Any] = [None] * nprocs
+    failures: dict[int, BaseException] = {}
+
+    def runner(rank: int) -> None:
+        comm = Communicator(rank, shared)
+        try:
+            results[rank] = program(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            failures[rank] = exc
+            shared.barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"rank{rank}")
+        for rank in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            shared.barrier.abort()
+            raise DPFSError(f"{t.name} did not finish within {timeout}s")
+    if failures:
+        raise ParallelError(failures)
+    return results

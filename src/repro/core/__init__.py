@@ -1,0 +1,56 @@
+"""DPFS core: striping methods, placement, request combination, the file
+system facade and its metadata layer."""
+
+from .brick import BrickLocation, BrickMap, BrickSlice
+from .cache import BrickCache, CacheStats
+from .combine import ServerRequest, SlicePlacement, plan_requests
+from .filesystem import DPFS
+from .fsck import Finding, FsckReport, fsck
+from .handle import FileHandle, IOStats
+from .hints import DEFAULT_BRICK_SIZE, Hint
+from .metadata import FileRecord, MetadataManager, normalize_path, split_path
+from .placement import Greedy, PlacementPolicy, RoundRobin, build_brick_map, make_policy
+from .striping import (
+    ArrayStriping,
+    FileLevel,
+    LinearStriping,
+    MultidimStriping,
+    StripingMethod,
+)
+from .transfer import copy_within, export_file, import_file
+
+__all__ = [
+    "DPFS",
+    "fsck",
+    "FsckReport",
+    "Finding",
+    "BrickCache",
+    "CacheStats",
+    "FileHandle",
+    "IOStats",
+    "Hint",
+    "DEFAULT_BRICK_SIZE",
+    "FileLevel",
+    "StripingMethod",
+    "LinearStriping",
+    "MultidimStriping",
+    "ArrayStriping",
+    "BrickSlice",
+    "BrickLocation",
+    "BrickMap",
+    "PlacementPolicy",
+    "RoundRobin",
+    "Greedy",
+    "make_policy",
+    "build_brick_map",
+    "plan_requests",
+    "ServerRequest",
+    "SlicePlacement",
+    "MetadataManager",
+    "FileRecord",
+    "normalize_path",
+    "split_path",
+    "import_file",
+    "export_file",
+    "copy_within",
+]

@@ -1,0 +1,148 @@
+"""Client-side brick cache.
+
+The paper's servers inherit "I/O optimizations such as caching and
+prefetching of the local file system"; on the *client* side, repeated
+region reads (e.g. the out-of-core multiply's row panels) re-fetch the
+same bricks over the network.  :class:`BrickCache` is an LRU,
+whole-brick, write-through cache a :class:`~repro.core.filesystem.DPFS`
+instance can share across handles.
+
+Design points:
+
+- the unit is the brick — DPFS's "basic accessing unit" (§3) — keyed by
+  ``(file path, brick id)``;
+- write-through: writes go to the servers immediately, and any cached
+  copy of the touched brick is patched in place, so reads after writes
+  are always coherent within the process;
+- files are invalidated wholesale on remove/rename/growth;
+- bricks larger than a quarter of the capacity are never cached (one
+  array-level chunk must not evict the whole working set).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = ["CacheStats", "BrickCache"]
+
+
+@dataclass
+class CacheStats:
+    """Observability counters."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    patched_writes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    data: bytearray
+    size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.size = len(self.data)
+
+
+class BrickCache:
+    """LRU cache of whole bricks, bounded by total bytes."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigError("cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[tuple[str, int], _Entry] = OrderedDict()
+        self._used = 0
+        self.stats = CacheStats()
+
+    # -- bookkeeping ---------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def cacheable(self, size: int) -> bool:
+        """Whether a brick of ``size`` bytes is admitted at all."""
+        return size <= self.capacity_bytes // 4
+
+    # -- lookup ---------------------------------------------------------------
+    def get(self, path: str, brick_id: int) -> bytes | None:
+        """Whole-brick lookup; promotes on hit."""
+        entry = self._entries.get((path, brick_id))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end((path, brick_id))
+        self.stats.hits += 1
+        return bytes(entry.data)
+
+    def peek(self, path: str, brick_id: int) -> bool:
+        """Presence check without touching LRU order or stats."""
+        return (path, brick_id) in self._entries
+
+    # -- population -------------------------------------------------------------
+    def put(self, path: str, brick_id: int, data: bytes) -> None:
+        """Insert/replace a whole brick (no-op when not cacheable)."""
+        if not self.cacheable(len(data)):
+            return
+        key = (path, brick_id)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._used -= old.size
+        entry = _Entry(bytearray(data))
+        self._entries[key] = entry
+        self._used += entry.size
+        self.stats.insertions += 1
+        self._evict()
+
+    def _evict(self) -> None:
+        while self._used > self.capacity_bytes and self._entries:
+            _key, entry = self._entries.popitem(last=False)
+            self._used -= entry.size
+            self.stats.evictions += 1
+
+    # -- coherence ---------------------------------------------------------------
+    def patch(self, path: str, brick_id: int, offset: int, data: bytes) -> None:
+        """Apply a write-through update to a cached brick, if present."""
+        entry = self._entries.get((path, brick_id))
+        if entry is None:
+            return
+        if offset + len(data) > entry.size:
+            # write beyond the cached image (shouldn't happen for fixed
+            # bricks): drop the stale entry instead of guessing
+            self.invalidate_brick(path, brick_id)
+            return
+        entry.data[offset : offset + len(data)] = data
+        self._entries.move_to_end((path, brick_id))
+        self.stats.patched_writes += 1
+
+    def invalidate_brick(self, path: str, brick_id: int) -> None:
+        entry = self._entries.pop((path, brick_id), None)
+        if entry is not None:
+            self._used -= entry.size
+            self.stats.invalidations += 1
+
+    def invalidate_file(self, path: str) -> None:
+        """Drop every cached brick of one file (remove/rename/growth)."""
+        victims = [key for key in self._entries if key[0] == path]
+        for key in victims:
+            self._used -= self._entries.pop(key).size
+        self.stats.invalidations += len(victims)
+
+    def clear(self) -> None:
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+        self._used = 0

@@ -1,0 +1,118 @@
+"""Request combination and scheduling (§4.2).
+
+Without combination, a processor issues one request per brick slice —
+the paper's "general approach", which floods servers with small
+requests *and* convoys all processors onto the same device (brick 0, 8,
+16, 24 of Fig. 3 live on server 0, so every processor starts there).
+
+With combination, all of a processor's slices that live on one server
+are folded into one request carrying a subfile extent list, and the
+per-processor request sequence is *staggered*: processor ``p`` starts
+with server ``(p mod S)`` so the processors fan out across devices —
+exactly the schedule the paper walks through (processor 0 starts at
+subfile-0, processor 1 at subfile-1, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..errors import DPFSError
+from ..util import Extent, coalesce_extents, total_extent_bytes
+from .brick import BrickMap, BrickSlice
+
+__all__ = ["SlicePlacement", "ServerRequest", "plan_requests"]
+
+
+@dataclass(frozen=True)
+class SlicePlacement:
+    """A brick slice resolved to its physical position on a server."""
+
+    slice: BrickSlice
+    server: int
+    subfile_offset: int   # byte offset of the slice inside the subfile
+
+    @property
+    def extent(self) -> Extent:
+        return (self.subfile_offset, self.slice.length)
+
+
+@dataclass
+class ServerRequest:
+    """One wire request to one server.
+
+    ``placements`` keeps the payload mapping (buffer offsets) so the
+    client can gather/scatter user data; ``extents`` is the physical
+    subfile extent list the server works through.
+    """
+
+    server: int
+    placements: list[SlicePlacement] = field(default_factory=list)
+
+    @property
+    def extents(self) -> list[Extent]:
+        return [p.extent for p in self.placements]
+
+    @property
+    def coalesced_extents(self) -> list[Extent]:
+        """Physically merged extents (what the disk actually sees)."""
+        return coalesce_extents(self.extents)
+
+    @property
+    def payload_bytes(self) -> int:
+        return total_extent_bytes(self.extents)
+
+    @property
+    def brick_ids(self) -> list[int]:
+        return [p.slice.brick_id for p in self.placements]
+
+
+def _place(slices: Sequence[BrickSlice], brick_map: BrickMap) -> list[SlicePlacement]:
+    placed: list[SlicePlacement] = []
+    for s in slices:
+        loc = brick_map.location(s.brick_id)
+        if s.offset + s.length > loc.size:
+            raise DPFSError(
+                f"slice {s} exceeds brick size {loc.size} of brick {s.brick_id}"
+            )
+        placed.append(
+            SlicePlacement(s, loc.server, loc.local_offset + s.offset)
+        )
+    return placed
+
+
+def plan_requests(
+    slices: Sequence[BrickSlice],
+    brick_map: BrickMap,
+    *,
+    combine: bool,
+    rank: int = 0,
+    stagger: bool = True,
+) -> list[ServerRequest]:
+    """Turn brick slices into an *ordered* wire-request plan.
+
+    With ``combine=False`` (general approach): one request per slice, in
+    payload order.  With ``combine=True``: one request per touched
+    server; request order is staggered by ``rank`` when ``stagger``.
+    """
+    placed = _place(slices, brick_map)
+    if not combine:
+        return [ServerRequest(p.server, [p]) for p in placed]
+
+    by_server: dict[int, ServerRequest] = {}
+    for p in placed:
+        req = by_server.get(p.server)
+        if req is None:
+            req = ServerRequest(p.server)
+            by_server[p.server] = req
+        req.placements.append(p)
+
+    servers = sorted(by_server)
+    if stagger and servers:
+        n = brick_map.n_servers
+        # Rotate so this rank starts at server (rank mod S), or the next
+        # touched server after it.
+        start = rank % n
+        servers = sorted(servers, key=lambda s: (s - start) % n)
+    return [by_server[s] for s in servers]

@@ -1,0 +1,380 @@
+"""The DPFS file system facade — DPFS-Open/Close plus namespace ops.
+
+Binds together a storage backend (the I/O-node pool), the metadata
+manager (four SQL tables, §5), the striping methods (§3), the placement
+algorithms (§4.1) and the request planner (§4.2).
+
+    fs = DPFS.memory(n_servers=4)
+    fs.makedirs("/home/user")
+    hint = Hint.multidim((1024, 1024), 8, (128, 128), placement="greedy")
+    with fs.open("/home/user/field", "w", hint=hint) as f:
+        f.write_array((0, 0), data)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Sequence
+
+from ..backends.base import StorageBackend
+from ..backends.local import LocalBackend
+from ..backends.memory import MemoryBackend
+from ..errors import (
+    FileSystemError,
+    InvalidHint,
+    PermissionDenied,
+)
+from ..metadb import Database
+from .brick import BrickMap
+from .cache import BrickCache
+from .handle import FileHandle
+from .hints import Hint
+from .metadata import FileRecord, MetadataManager, normalize_path
+from .placement import Greedy, PlacementPolicy, RoundRobin, make_policy
+from .striping import FileLevel, LinearStriping
+
+__all__ = ["DPFS"]
+
+#: default permission bits for new files (the paper's example uses 744)
+DEFAULT_PERMISSION = 0o744
+
+
+class _SubsetPolicy(PlacementPolicy):
+    """Restrict any policy to a subset of servers (the user's suggested
+    number of I/O nodes, a DPFS-Open argument)."""
+
+    def __init__(self, inner: PlacementPolicy, subset: Sequence[int], n_total: int) -> None:
+        super().__init__(n_total)
+        self.inner = inner
+        self.subset = list(subset)
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    def assign_next(self) -> int:
+        return self.subset[self.inner.assign_next()]
+
+
+class DPFS:
+    """One mounted DPFS instance."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        db: Database | None = None,
+        *,
+        owner: str = "dpfs",
+        default_combine: bool = True,
+        cache_bytes: int = 0,
+        readahead_bricks: int = 0,
+    ) -> None:
+        self.backend = backend
+        self.db = db if db is not None else Database()
+        self.meta = MetadataManager(self.db)
+        self.meta.register_servers(backend.servers)
+        self.owner = owner
+        self.default_combine = default_combine
+        #: optional client-side brick cache shared by every handle
+        self.cache: BrickCache | None = (
+            BrickCache(cache_bytes) if cache_bytes else None
+        )
+        #: bricks to prefetch ahead of sequential reads (cache required;
+        #: note BrickCache defines __len__, so test identity, not truth)
+        self.readahead_bricks = (
+            readahead_bricks if self.cache is not None else 0
+        )
+        self._server_names = [info.name for info in backend.servers]
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def memory(cls, n_servers: int = 4, **kwargs: Any) -> "DPFS":
+        """All-in-memory instance (tests / examples)."""
+        backend_kw = {
+            k: kwargs.pop(k)
+            for k in ("capacity", "performance", "names")
+            if k in kwargs
+        }
+        return cls(MemoryBackend(n_servers, **backend_kw), **kwargs)
+
+    @classmethod
+    def local(
+        cls,
+        root: str | os.PathLike[str],
+        n_servers: int = 4,
+        *,
+        meta_path: str | os.PathLike[str] | None = None,
+        **kwargs: Any,
+    ) -> "DPFS":
+        """Directory-backed instance with a durable metadata database.
+
+        ``meta_path`` defaults to ``<root>/dpfs.meta`` so re-opening the
+        same root recovers the full namespace.
+        """
+        backend_kw = {
+            k: kwargs.pop(k) for k in ("capacity", "performance") if k in kwargs
+        }
+        backend = LocalBackend(root, n_servers, **backend_kw)
+        if meta_path is None:
+            meta_path = os.path.join(os.fspath(root), "dpfs.meta")
+        db = Database(meta_path)
+        return cls(backend, db, **kwargs)
+
+    def close(self) -> None:
+        self.db.close()
+        self.backend.close()
+
+    def __enter__(self) -> "DPFS":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- namespace ------------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        self.meta.mkdir(path)
+
+    def makedirs(self, path: str) -> None:
+        self.meta.makedirs(path)
+
+    def rmdir(self, path: str) -> None:
+        self.meta.rmdir(path)
+
+    def listdir(self, path: str = "/") -> tuple[list[str], list[str]]:
+        """(sub_dirs, files)."""
+        return self.meta.listdir(path)
+
+    def exists(self, path: str) -> bool:
+        norm = normalize_path(path)
+        return self.meta.file_exists(norm) or self.meta.dir_exists(norm)
+
+    def isdir(self, path: str) -> bool:
+        return self.meta.dir_exists(normalize_path(path))
+
+    def isfile(self, path: str) -> bool:
+        return self.meta.file_exists(normalize_path(path))
+
+    def stat(self, path: str) -> dict[str, Any]:
+        return self.meta.stat(path)
+
+    def chmod(self, path: str, permission: int) -> None:
+        self.meta.set_permission(path, permission)
+
+    def remove(self, path: str) -> None:
+        """rm: drop metadata and delete every subfile."""
+        norm = normalize_path(path)
+        self.meta.remove_file(norm)
+        if self.cache is not None:
+            self.cache.invalidate_file(norm)
+        for server in range(self.backend.n_servers):
+            self.backend.delete_subfile(server, norm)
+
+    def rename(self, old: str, new: str) -> None:
+        """mv: rename a file (metadata re-key + subfile renames)."""
+        old_norm = normalize_path(old)
+        new_norm = normalize_path(new)
+        self.meta.rename_file(old_norm, new_norm)
+        if self.cache is not None:
+            self.cache.invalidate_file(old_norm)
+        for server in range(self.backend.n_servers):
+            self.backend.rename_subfile(server, old_norm, new_norm)
+
+    def du(self, path: str = "/") -> int:
+        """Total logical bytes of all files at or under ``path``."""
+        return self.meta.tree_usage(path)
+
+    def df(self) -> list[dict[str, Any]]:
+        """Per-server capacity report: the DPFS-SERVER table plus the
+        physical bytes each server's bricks occupy."""
+        usage = self.meta.server_usage()
+        report = []
+        for row in self.meta.servers():
+            used = usage.get(row["server_id"], 0)
+            report.append(
+                {
+                    **row,
+                    "used": used,
+                    "available": max(row["capacity"] - used, 0),
+                }
+            )
+        return report
+
+    def servers(self) -> list[dict[str, Any]]:
+        """The DPFS-SERVER table contents."""
+        return self.meta.servers()
+
+    # -- open/create ---------------------------------------------------------
+    def open(
+        self,
+        path: str,
+        mode: str = "r",
+        hint: Hint | None = None,
+        *,
+        rank: int = 0,
+        combine: bool | None = None,
+        stagger: bool = True,
+    ) -> FileHandle:
+        """DPFS-Open.
+
+        Modes: ``"r"`` read existing, ``"r+"`` read/write existing,
+        ``"w"`` create new (requires a hint; fails if the file exists —
+        the paper's write-mode open is a create).
+        """
+        if mode not in ("r", "r+", "w"):
+            raise FileSystemError(f"unsupported mode {mode!r}")
+        norm = normalize_path(path)
+        use_combine = self.default_combine if combine is None else combine
+
+        if mode == "w":
+            record, brick_map = self._create(norm, hint or Hint())
+        else:
+            record, brick_map = self.meta.load_file(norm)
+            wanted = 0o400 if mode == "r" else 0o600
+            if (record.permission & wanted) != wanted:
+                raise PermissionDenied(
+                    f"{norm}: permission {oct(record.permission)} denies "
+                    f"mode {mode!r}"
+                )
+
+        striping = self._striping_for(record)
+        return FileHandle(
+            self,
+            record,
+            brick_map,
+            striping,
+            mode,
+            rank=rank,
+            combine=use_combine,
+            stagger=stagger,
+        )
+
+    def _striping_for(self, record: FileRecord):
+        hint = Hint(
+            level=record.level,
+            array_shape=record.array_shape,
+            element_size=record.element_size,
+            brick_shape=record.brick_shape,
+            brick_size=record.brick_size,
+            pattern=record.pattern,
+            nprocs=record.nprocs,
+            pgrid=record.pgrid,
+            file_size=record.size,
+        )
+        return hint.striping()
+
+    def _placement_policy(self, hint: Hint) -> PlacementPolicy:
+        n = self.backend.n_servers
+        performance = [info.performance for info in self.backend.servers]
+        if hint.io_nodes is not None:
+            if not 1 <= hint.io_nodes <= n:
+                raise InvalidHint(
+                    f"io_nodes {hint.io_nodes} outside [1, {n}]"
+                )
+            # Use the suggested number of I/O nodes, preferring the
+            # fastest (smallest performance number).
+            ranked = sorted(range(n), key=lambda i: (performance[i], i))
+            subset = sorted(ranked[: hint.io_nodes])
+            inner = make_policy(
+                hint.placement,
+                len(subset),
+                [performance[i] for i in subset],
+            )
+            return _SubsetPolicy(inner, subset, n)
+        return make_policy(hint.placement, n, performance)
+
+    def _create(self, norm: str, hint: Hint) -> tuple[FileRecord, BrickMap]:
+        hint = hint.validate()
+        striping = hint.striping()
+        policy = self._placement_policy(hint)
+        sizes = striping.brick_sizes()
+        brick_map = BrickMap(n_servers=self.backend.n_servers)
+        for size in sizes:
+            brick_map.append(policy.assign_next(), size)
+        self._check_capacity(brick_map)
+        record = FileRecord(
+            path=norm,
+            owner=self.owner,
+            permission=DEFAULT_PERMISSION,
+            size=striping.total_bytes(),
+            level=hint.level,
+            element_size=hint.element_size,
+            array_shape=hint.array_shape,
+            brick_shape=hint.brick_shape,
+            brick_size=hint.brick_size,
+            pattern=hint.pattern,
+            nprocs=hint.nprocs,
+            pgrid=hint.pgrid,
+            placement=hint.placement,
+            brick_sizes=list(sizes),
+        )
+        self.meta.create_file(record, brick_map, self._server_names)
+        for server in range(self.backend.n_servers):
+            self.backend.create_subfile(server, norm)
+        return record, brick_map
+
+    def _check_capacity(self, brick_map: BrickMap) -> None:
+        """Reject creations that would exceed a server's capacity (the
+        DPFS-SERVER ``capacity`` attribute tells clients how much space
+        each node can still take, §5)."""
+        usage = self.meta.server_usage()
+        for info, server in zip(self.backend.servers, range(self.backend.n_servers)):
+            needed = brick_map.subfile_size(server)
+            used = usage.get(server, 0)
+            if needed and used + needed > info.capacity:
+                raise FileSystemError(
+                    f"server {server} ({info.name}) lacks capacity: "
+                    f"{used + needed} > {info.capacity} bytes"
+                )
+
+    # -- internal hooks used by FileHandle ------------------------------------
+    def _grow_file(self, handle: FileHandle, new_size: int) -> None:
+        striping = handle.striping
+        assert isinstance(striping, LinearStriping)
+        record = handle.record
+        new_bricks = striping.grow_to(new_size)
+        if new_bricks:
+            counts = handle.brick_map.bricks_per_server()
+            performance = [info.performance for info in self.backend.servers]
+            if record.placement == "greedy":
+                policy: PlacementPolicy = Greedy.resume(performance, counts)
+            else:
+                policy = RoundRobin(
+                    self.backend.n_servers, start=len(handle.brick_map)
+                )
+            for _ in range(new_bricks):
+                handle.brick_map.append(policy.assign_next(), striping.brick_size)
+            record.brick_sizes = [striping.brick_size] * len(handle.brick_map)
+            self.meta.update_distribution(
+                record.path, handle.brick_map, record.brick_sizes,
+                self._server_names,
+            )
+        record.size = new_size
+        self.meta.update_file_size(record.path, new_size)
+
+    def _handle_closed(self, handle: FileHandle) -> None:
+        """DPFS-Close hook — metadata is already durable; nothing to flush."""
+
+    # -- convenience -----------------------------------------------------------
+    def read_file(self, path: str) -> bytes:
+        """Whole-file read (shell `cat` / export path)."""
+        with self.open(path, "r") as handle:
+            return handle.read(0, handle.size)
+
+    def write_file(self, path: str, data: bytes, hint: Hint | None = None) -> None:
+        """Create + write a whole file in one call."""
+        if hint is None:
+            hint = Hint.linear(file_size=len(data))
+        with self.open(path, "w", hint=hint) as handle:
+            if hint.level is FileLevel.LINEAR:
+                handle.write(0, data)
+            else:
+                striping = handle.striping
+                total = striping.total_bytes()
+                if len(data) != total:
+                    raise FileSystemError(
+                        f"array file holds {total} bytes, got {len(data)}"
+                    )
+                assert hint.array_shape is not None
+                handle.write_region(
+                    tuple(0 for _ in hint.array_shape), hint.array_shape, data
+                )

@@ -1,0 +1,228 @@
+"""File system consistency checker (fsck) for DPFS.
+
+The paper's reliability story is "the transaction mechanism provided by
+database systems can help maintain meta data consistency" (§5); fsck is
+the complementary tool that cross-checks the *two* sources of truth —
+the metadata database and the servers' subfiles — and reports (or
+repairs) drift between them:
+
+=====================  =====================================================
+``missing-subfile``    a bricklist references a server where the subfile
+                       does not exist (repair: recreate empty; sparse
+                       semantics make unwritten bricks read as zeros)
+``orphan-subfile``     a server holds a subfile no metadata references
+                       (repair: delete)
+``bad-brick-map``      a file's distribution rows are not a permutation of
+                       its bricks (unrepairable: reported only)
+``dangling-dir-entry`` a directory row lists a child with no attr/dir row
+                       (repair: unlink)
+``unlinked-file``      a file has attr rows but no directory entry
+                       (repair: link into its parent, creating parents)
+=====================  =====================================================
+
+    report = fsck(fs)
+    if not report.clean:
+        fsck(fs, repair=True)
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import DPFSError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .filesystem import DPFS
+
+__all__ = ["Finding", "FsckReport", "fsck"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One inconsistency."""
+
+    kind: str
+    path: str
+    detail: str
+    repaired: bool = False
+
+    def __str__(self) -> str:
+        mark = "FIXED" if self.repaired else "FOUND"
+        return f"[{mark}] {self.kind}: {self.path} — {self.detail}"
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one consistency pass."""
+
+    files_checked: int = 0
+    directories_checked: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_kind(self, kind: str) -> list[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def __str__(self) -> str:
+        lines = [
+            f"fsck: {self.files_checked} files, "
+            f"{self.directories_checked} directories, "
+            f"{len(self.findings)} finding(s)"
+        ]
+        lines += [str(f) for f in self.findings]
+        return "\n".join(lines)
+
+
+def fsck(fs: "DPFS", repair: bool = False) -> FsckReport:
+    """Cross-check metadata against storage; optionally repair."""
+    report = FsckReport()
+    meta = fs.meta
+    backend = fs.backend
+
+    referenced: set[str] = set()
+
+    # -- pass 1: every file's brick map and subfiles --------------------------
+    for path in meta.iter_files():
+        report.files_checked += 1
+        referenced.add(path)
+        try:
+            _record, bmap = meta.load_file(path)
+        except DPFSError as exc:
+            report.findings.append(
+                Finding("bad-brick-map", path, str(exc))
+            )
+            continue
+        for server in range(backend.n_servers):
+            if not bmap.bricklist(server):
+                continue
+            if not backend.subfile_exists(server, path):
+                repaired = False
+                if repair:
+                    backend.create_subfile(server, path)
+                    repaired = True
+                report.findings.append(
+                    Finding(
+                        "missing-subfile",
+                        path,
+                        f"server {server} holds bricks but no subfile",
+                        repaired,
+                    )
+                )
+
+    # -- pass 2: directory tree ↔ attr rows -----------------------------------
+    dir_rows: dict[str, tuple[list[str], list[str]]] = {}
+    stack = ["/"]
+    seen_dirs: set[str] = set()
+    while stack:
+        current = stack.pop()
+        if current in seen_dirs:
+            continue
+        seen_dirs.add(current)
+        report.directories_checked += 1
+        try:
+            subs, files = meta.listdir(current)
+        except DPFSError:
+            continue
+        dir_rows[current] = (subs, files)
+        for sub in subs:
+            child = posixpath.join(current, sub)
+            if not meta.dir_exists(child):
+                repaired = False
+                if repair:
+                    _unlink_dir_entry(meta, current, sub, is_dir=True)
+                    repaired = True
+                report.findings.append(
+                    Finding(
+                        "dangling-dir-entry",
+                        child,
+                        f"listed in {current} but has no directory row",
+                        repaired,
+                    )
+                )
+            else:
+                stack.append(child)
+        for name in files:
+            child = posixpath.join(current, name)
+            if not meta.file_exists(child):
+                repaired = False
+                if repair:
+                    _unlink_dir_entry(meta, current, name, is_dir=False)
+                    repaired = True
+                report.findings.append(
+                    Finding(
+                        "dangling-dir-entry",
+                        child,
+                        f"listed in {current} but has no attr row",
+                        repaired,
+                    )
+                )
+
+    linked_files = {
+        posixpath.join(d, name)
+        for d, (_subs, files) in dir_rows.items()
+        for name in files
+    }
+    for path in meta.iter_files():
+        if path not in linked_files:
+            repaired = False
+            if repair:
+                _relink_file(meta, path)
+                repaired = True
+            report.findings.append(
+                Finding(
+                    "unlinked-file",
+                    path,
+                    "attr row exists but no directory lists it",
+                    repaired,
+                )
+            )
+
+    # -- pass 3: orphan subfiles on the servers --------------------------------
+    for server in range(backend.n_servers):
+        for name in backend.list_subfiles(server):
+            if name not in referenced:
+                repaired = False
+                if repair:
+                    backend.delete_subfile(server, name)
+                    repaired = True
+                report.findings.append(
+                    Finding(
+                        "orphan-subfile",
+                        name,
+                        f"server {server} holds a subfile no metadata references",
+                        repaired,
+                    )
+                )
+    return report
+
+
+def _unlink_dir_entry(meta, parent: str, name: str, *, is_dir: bool) -> None:
+    subs, files = meta.listdir(parent)
+    if is_dir:
+        subs = [s for s in subs if s != name]
+        meta.db.execute(
+            "UPDATE dpfs_directory SET sub_dirs = ? WHERE main_dir = ?",
+            [subs, parent],
+        )
+    else:
+        files = [f for f in files if f != name]
+        meta.db.execute(
+            "UPDATE dpfs_directory SET files = ? WHERE main_dir = ?",
+            [files, parent],
+        )
+
+
+def _relink_file(meta, path: str) -> None:
+    parent, base = posixpath.split(path)
+    meta.makedirs(parent)
+    subs, files = meta.listdir(parent)
+    if base not in files:
+        meta.db.execute(
+            "UPDATE dpfs_directory SET files = ? WHERE main_dir = ?",
+            [sorted(files + [base]), parent],
+        )

@@ -1,0 +1,442 @@
+"""DPFS file handles — the object DPFS-Open returns (§6).
+
+A handle executes logical reads/writes by
+
+1. translating them to brick slices with the file's striping method,
+2. planning wire requests (combined per server, or one per slice —
+   §4.2) against the file's brick map, and
+3. gathering/scattering payload bytes through the storage backend.
+
+Three addressing styles are offered:
+
+``read``/``write``
+    plain byte streams (natural for linear files),
+``read_type``/``write_type``
+    MPI-IO derived datatypes: the typemap describes *file* layout, the
+    payload is packed bytes,
+``read_array``/``write_array``
+    NumPy arrays against N-d element regions (multidim/array files).
+
+``rank`` identifies the calling process in a parallel program; it seeds
+the staggered schedule of combined requests.  ``stats`` counts requests
+and bytes for tests and the §8 harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..datatypes import Datatype
+from ..errors import BadFileHandle, FileSystemError, StripingError
+from ..hpf.regions import Region
+from ..util import Extent
+from .brick import BrickMap, BrickSlice
+from .combine import plan_requests
+from .metadata import FileRecord
+from .striping import FileLevel, LinearStriping, StripingMethod
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .filesystem import DPFS
+
+__all__ = ["FileHandle", "IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Counters of the traffic a handle generated."""
+
+    requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bricks_touched: int = 0
+    prefetched_bricks: int = 0
+    per_server_requests: dict[int, int] = field(default_factory=dict)
+
+    def record(self, server: int, nbytes: int, *, is_read: bool, bricks: int) -> None:
+        self.requests += 1
+        self.bricks_touched += bricks
+        self.per_server_requests[server] = self.per_server_requests.get(server, 0) + 1
+        if is_read:
+            self.bytes_read += nbytes
+        else:
+            self.bytes_written += nbytes
+
+
+class FileHandle:
+    """An open DPFS file.  Create via :meth:`repro.core.filesystem.DPFS.open`."""
+
+    def __init__(
+        self,
+        fs: "DPFS",
+        record: FileRecord,
+        brick_map: BrickMap,
+        striping: StripingMethod,
+        mode: str,
+        *,
+        rank: int = 0,
+        combine: bool = True,
+        stagger: bool = True,
+    ) -> None:
+        self.fs = fs
+        self.record = record
+        self.brick_map = brick_map
+        self.striping = striping
+        self.mode = mode
+        self.rank = rank
+        self.combine = combine
+        self.stagger = stagger
+        self.stats = IOStats()
+        self._closed = False
+        #: read-ahead state: one past the last brick id fetched by a
+        #: cache-enabled read (sequential-pattern detector)
+        self._next_expected_brick = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+    @property
+    def path(self) -> str:
+        return self.record.path
+
+    @property
+    def level(self) -> FileLevel:
+        return self.record.level
+
+    @property
+    def size(self) -> int:
+        return self.record.size
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """DPFS-Close: flush metadata and invalidate the handle."""
+        if not self._closed:
+            self._closed = True
+            self.fs._handle_closed(self)
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self, *, writing: bool) -> None:
+        if self._closed:
+            raise BadFileHandle(f"handle for {self.path!r} is closed")
+        if writing and self.mode == "r":
+            raise FileSystemError(f"{self.path!r} opened read-only")
+
+    # ------------------------------------------------------------------
+    # byte-stream API
+    # ------------------------------------------------------------------
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` at ``offset`` of the logical byte stream."""
+        self._check_open(writing=False)
+        if nbytes < 0 or offset < 0:
+            raise FileSystemError("negative offset/length")
+        nbytes = min(nbytes, max(self.record.size - offset, 0))
+        if nbytes == 0:
+            return b""
+        slices = self.striping.slices_for_extents([(offset, nbytes)])
+        return self._execute_read(slices, nbytes)
+
+    def write(self, offset: int, data: bytes) -> int:
+        """Write ``data`` at byte ``offset``; grows linear files."""
+        self._check_open(writing=True)
+        if offset < 0:
+            raise FileSystemError("negative offset")
+        if not data:
+            return 0
+        end = offset + len(data)
+        if end > self.record.size:
+            self._grow_to(end)
+        slices = self.striping.slices_for_extents([(offset, len(data))])
+        self._execute_write(slices, data)
+        return len(data)
+
+    def read_extents(self, extents: Sequence[Extent]) -> bytes:
+        """Read a list of byte extents, concatenated in list order."""
+        self._check_open(writing=False)
+        total = sum(ln for _o, ln in extents)
+        if total == 0:
+            return b""
+        slices = self.striping.slices_for_extents(list(extents))
+        return self._execute_read(slices, total)
+
+    def write_extents(self, extents: Sequence[Extent], data: bytes) -> int:
+        """Write packed ``data`` across a list of byte extents (in order)."""
+        self._check_open(writing=True)
+        extents = [e for e in extents if e[1] > 0]
+        if not extents:
+            return 0
+        total = sum(ln for _o, ln in extents)
+        if total != len(data):
+            raise FileSystemError(
+                f"extent list covers {total} bytes but payload is {len(data)}"
+            )
+        end = max(off + ln for off, ln in extents)
+        if end > self.record.size:
+            self._grow_to(end)
+        slices = self.striping.slices_for_extents(list(extents))
+        self._execute_write(slices, data)
+        return total
+
+    # ------------------------------------------------------------------
+    # derived-datatype API
+    # ------------------------------------------------------------------
+    def read_type(self, datatype: Datatype, offset: int = 0) -> bytes:
+        """Read the file bytes selected by ``datatype`` (packed order)."""
+        self._check_open(writing=False)
+        extents = datatype.flattened(offset)
+        return self.read_extents(extents)
+
+    def write_type(self, datatype: Datatype, data: bytes, offset: int = 0) -> int:
+        """Write packed ``data`` into the file at the datatype's typemap."""
+        self._check_open(writing=True)
+        if len(data) != datatype.size:
+            raise FileSystemError(
+                f"payload is {len(data)} bytes but datatype size is {datatype.size}"
+            )
+        extents = datatype.flattened(offset)
+        if not extents:
+            return 0
+        end = max(off + ln for off, ln in extents)
+        if end > self.record.size:
+            self._grow_to(end)
+        slices = self.striping.slices_for_extents(extents)
+        self._execute_write(slices, data)
+        return len(data)
+
+    # ------------------------------------------------------------------
+    # array/region API
+    # ------------------------------------------------------------------
+    def _region_slices(self, region: Region) -> list[BrickSlice]:
+        if self.level is FileLevel.LINEAR:
+            raise StripingError(
+                "region addressing needs a multidim or array file level"
+            )
+        return self.striping.slices_for_region(region)
+
+    def read_region(self, starts: Sequence[int], shape: Sequence[int]) -> bytes:
+        """Read an N-d element region; returns packed row-major bytes."""
+        self._check_open(writing=False)
+        region = Region(
+            tuple(starts), tuple(s + n for s, n in zip(starts, shape))
+        )
+        slices = self._region_slices(region)
+        return self._execute_read(slices, region.volume * self.record.element_size)
+
+    def write_region(self, starts: Sequence[int], shape: Sequence[int], data: bytes) -> int:
+        """Write packed row-major bytes into an N-d element region."""
+        self._check_open(writing=True)
+        region = Region(
+            tuple(starts), tuple(s + n for s, n in zip(starts, shape))
+        )
+        expected = region.volume * self.record.element_size
+        if len(data) != expected:
+            raise FileSystemError(
+                f"payload is {len(data)} bytes but region holds {expected}"
+            )
+        slices = self._region_slices(region)
+        self._execute_write(slices, data)
+        return len(data)
+
+    def read_array(self, starts: Sequence[int], shape: Sequence[int], dtype) -> np.ndarray:
+        """Read a region into a NumPy array."""
+        dt = np.dtype(dtype)
+        if dt.itemsize != self.record.element_size:
+            raise FileSystemError(
+                f"dtype itemsize {dt.itemsize} != file element size "
+                f"{self.record.element_size}"
+            )
+        raw = self.read_region(starts, shape)
+        return np.frombuffer(raw, dtype=dt).reshape(tuple(shape)).copy()
+
+    def write_array(self, starts: Sequence[int], array: np.ndarray) -> int:
+        """Write a NumPy array at the region anchored at ``starts``."""
+        arr = np.ascontiguousarray(array)
+        if arr.dtype.itemsize != self.record.element_size:
+            raise FileSystemError(
+                f"dtype itemsize {arr.dtype.itemsize} != file element size "
+                f"{self.record.element_size}"
+            )
+        return self.write_region(starts, arr.shape, arr.tobytes())
+
+    def read_chunk(self, rank: int | None = None) -> bytes:
+        """Array level: read the whole chunk owned by ``rank`` (default:
+        this handle's rank) in one request — the checkpoint-restart path."""
+        from .striping import ArrayStriping
+
+        if not isinstance(self.striping, ArrayStriping):
+            raise StripingError("read_chunk needs an array-level file")
+        chunk = self.striping.chunk_of(self.rank if rank is None else rank)
+        return self.read_region(chunk.starts, chunk.shape)
+
+    def write_chunk(self, data: bytes, rank: int | None = None) -> int:
+        """Array level: write the whole chunk owned by ``rank``."""
+        from .striping import ArrayStriping
+
+        if not isinstance(self.striping, ArrayStriping):
+            raise StripingError("write_chunk needs an array-level file")
+        chunk = self.striping.chunk_of(self.rank if rank is None else rank)
+        return self.write_region(chunk.starts, chunk.shape, data)
+
+    # ------------------------------------------------------------------
+    # execution engine
+    # ------------------------------------------------------------------
+    def _plan(self, slices: list[BrickSlice]):
+        return plan_requests(
+            slices,
+            self.brick_map,
+            combine=self.combine,
+            rank=self.rank,
+            stagger=self.stagger,
+        )
+
+    def _execute_read(self, slices: list[BrickSlice], total: int) -> bytes:
+        cache = self.fs.cache
+        if cache is None:
+            payload = bytearray(total)
+            self._fetch_into(slices, payload, offset_map=None)
+            return bytes(payload)
+
+        payload = bytearray(total)
+        missing: list[BrickSlice] = []
+        for s in slices:
+            cached = cache.get(self.record.path, s.brick_id)
+            if cached is not None:
+                payload[s.buffer_offset : s.buffer_offset + s.length] = cached[
+                    s.offset : s.offset + s.length
+                ]
+            else:
+                missing.append(s)
+        if not missing:
+            return bytes(payload)
+
+        # Fetch whole bricks for cacheable ones (first-touch order) and
+        # exact byte ranges for bricks too large to admit.
+        whole: list[BrickSlice] = []
+        exact: list[BrickSlice] = []
+        seen: set[int] = set()
+        fetch_offset = 0
+        for s in missing:
+            loc = self.brick_map.location(s.brick_id)
+            if cache.cacheable(loc.size):
+                if s.brick_id not in seen:
+                    seen.add(s.brick_id)
+                    whole.append(
+                        BrickSlice(s.brick_id, 0, loc.size, fetch_offset)
+                    )
+                    fetch_offset += loc.size
+            else:
+                exact.append(
+                    BrickSlice(s.brick_id, s.offset, s.length, fetch_offset)
+                )
+                fetch_offset += s.length
+
+        # Read-ahead: when the access continues a sequential brick walk,
+        # pull the next few bricks in the same wire plan ("prefetching"
+        # is the local-FS optimization the paper credits, §1 fn. 1 —
+        # here applied client-side).
+        readahead = getattr(self.fs, "readahead_bricks", 0)
+        touched = [s.brick_id for s in slices]
+        if readahead > 0 and touched:
+            lo, hi = min(touched), max(touched)
+            if lo <= self._next_expected_brick:
+                for brick_id in range(hi + 1, hi + 1 + readahead):
+                    if brick_id >= len(self.brick_map):
+                        break
+                    if brick_id in seen or cache.peek(self.record.path, brick_id):
+                        continue
+                    loc = self.brick_map.location(brick_id)
+                    if not cache.cacheable(loc.size):
+                        continue
+                    seen.add(brick_id)
+                    whole.append(
+                        BrickSlice(brick_id, 0, loc.size, fetch_offset)
+                    )
+                    fetch_offset += loc.size
+                    self.stats.prefetched_bricks += 1
+            self._next_expected_brick = hi + 1
+
+        fetched = bytearray(fetch_offset)
+        self._fetch_into(whole + exact, fetched, offset_map=None)
+
+        bricks: dict[int, bytes] = {}
+        for w in whole:
+            data = bytes(fetched[w.buffer_offset : w.buffer_offset + w.length])
+            bricks[w.brick_id] = data
+            cache.put(self.record.path, w.brick_id, data)
+        exact_by_key = {
+            (e.brick_id, e.offset, e.length): e.buffer_offset for e in exact
+        }
+        for s in missing:
+            if s.brick_id in bricks:
+                payload[s.buffer_offset : s.buffer_offset + s.length] = bricks[
+                    s.brick_id
+                ][s.offset : s.offset + s.length]
+            else:
+                src = exact_by_key[(s.brick_id, s.offset, s.length)]
+                payload[s.buffer_offset : s.buffer_offset + s.length] = fetched[
+                    src : src + s.length
+                ]
+        return bytes(payload)
+
+    def _fetch_into(
+        self,
+        slices: list[BrickSlice],
+        payload: bytearray,
+        offset_map,
+    ) -> None:
+        """Run the wire plan for ``slices``, scattering into ``payload``
+        at each slice's buffer_offset."""
+        backend = self.fs.backend
+        for req in self._plan(slices):
+            data = backend.read_extents(req.server, self.record.path, req.extents)
+            self.stats.record(
+                req.server, len(data), is_read=True, bricks=len(set(req.brick_ids))
+            )
+            pos = 0
+            for p in req.placements:
+                ln = p.slice.length
+                payload[p.slice.buffer_offset : p.slice.buffer_offset + ln] = data[
+                    pos : pos + ln
+                ]
+                pos += ln
+
+    def _execute_write(self, slices: list[BrickSlice], data: bytes) -> None:
+        backend = self.fs.backend
+        for req in self._plan(slices):
+            chunks = [
+                data[p.slice.buffer_offset : p.slice.buffer_offset + p.slice.length]
+                for p in req.placements
+            ]
+            blob = b"".join(chunks)
+            backend.write_extents(req.server, self.record.path, req.extents, blob)
+            self.stats.record(
+                req.server, len(blob), is_read=False, bricks=len(set(req.brick_ids))
+            )
+        cache = self.fs.cache
+        if cache is not None:
+            # write-through coherence: patch any cached image in place
+            for s in slices:
+                cache.patch(
+                    self.record.path,
+                    s.brick_id,
+                    s.offset,
+                    data[s.buffer_offset : s.buffer_offset + s.length],
+                )
+
+    # ------------------------------------------------------------------
+    # growth (linear level)
+    # ------------------------------------------------------------------
+    def _grow_to(self, new_size: int) -> None:
+        if not isinstance(self.striping, LinearStriping):
+            raise StripingError(
+                f"{self.level.value} files have fixed size "
+                f"{self.record.size}; write within the array"
+            )
+        self.fs._grow_file(self, new_size)

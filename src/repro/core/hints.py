@@ -1,0 +1,187 @@
+"""The DPFS hint structure (§6).
+
+"Only the user has the best picture of how her data will be utilized"
+— the hint carried by DPFS-Open conveys that knowledge: the file level,
+the array geometry, the brick (striping unit) shape, the HPF pattern
+for array-level files, the suggested number of I/O nodes, and the
+placement policy.
+
+:func:`Hint.validate` normalises/completes a hint and
+:meth:`Hint.striping` builds the matching striping method.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from collections.abc import Sequence
+
+from ..errors import InvalidHint
+from ..hpf.distribution import Dist, parse_pattern
+from ..util import ceil_div
+from .striping import (
+    ArrayStriping,
+    FileLevel,
+    LinearStriping,
+    MultidimStriping,
+    StripingMethod,
+)
+
+__all__ = ["Hint", "DEFAULT_BRICK_SIZE"]
+
+#: Default linear brick size (64 KiB — the granularity the paper's
+#: 64K-row example implies).
+DEFAULT_BRICK_SIZE = 64 * 1024
+
+
+@dataclass(frozen=True)
+class Hint:
+    """User knowledge conveyed to DPFS-Open at file-creation time."""
+
+    level: FileLevel = FileLevel.LINEAR
+    #: logical array geometry (multidim / array levels)
+    array_shape: tuple[int, ...] | None = None
+    element_size: int = 1
+    #: N-d striping unit for multidim files
+    brick_shape: tuple[int, ...] | None = None
+    #: byte striping unit for linear files
+    brick_size: int = DEFAULT_BRICK_SIZE
+    #: HPF pattern for array-level files, e.g. "(BLOCK, *)"
+    pattern: str | None = None
+    #: number of application processes (array level: one chunk each)
+    nprocs: int | None = None
+    pgrid: tuple[int, ...] | None = None
+    #: suggested number of I/O nodes (paper: an Open argument; kept in
+    #: the hint so one structure carries all creation knowledge)
+    io_nodes: int | None = None
+    #: placement policy: "round_robin" or "greedy"
+    placement: str = "round_robin"
+    #: expected file size for linear files created by this open
+    file_size: int = 0
+
+    # -- constructors for the three levels ---------------------------------
+    @classmethod
+    def linear(
+        cls,
+        file_size: int = 0,
+        brick_size: int = DEFAULT_BRICK_SIZE,
+        **kw,
+    ) -> "Hint":
+        return cls(
+            level=FileLevel.LINEAR,
+            file_size=file_size,
+            brick_size=brick_size,
+            **kw,
+        )
+
+    @classmethod
+    def multidim(
+        cls,
+        array_shape: Sequence[int],
+        element_size: int,
+        brick_shape: Sequence[int],
+        **kw,
+    ) -> "Hint":
+        return cls(
+            level=FileLevel.MULTIDIM,
+            array_shape=tuple(array_shape),
+            element_size=element_size,
+            brick_shape=tuple(brick_shape),
+            **kw,
+        )
+
+    @classmethod
+    def array(
+        cls,
+        array_shape: Sequence[int],
+        element_size: int,
+        pattern: str,
+        nprocs: int,
+        pgrid: Sequence[int] | None = None,
+        **kw,
+    ) -> "Hint":
+        return cls(
+            level=FileLevel.ARRAY,
+            array_shape=tuple(array_shape),
+            element_size=element_size,
+            pattern=pattern,
+            nprocs=nprocs,
+            pgrid=tuple(pgrid) if pgrid is not None else None,
+            **kw,
+        )
+
+    # -- validation ------------------------------------------------------
+    def validate(self) -> "Hint":
+        """Check consistency; returns a normalised copy."""
+        hint = self
+        if hint.element_size <= 0:
+            raise InvalidHint("element_size must be positive")
+        if hint.level is FileLevel.LINEAR:
+            if hint.brick_size <= 0:
+                raise InvalidHint("brick_size must be positive")
+            if hint.file_size < 0:
+                raise InvalidHint("file_size must be >= 0")
+            return hint
+        if hint.array_shape is None:
+            raise InvalidHint(f"{hint.level.value} files need array_shape")
+        if any(n <= 0 for n in hint.array_shape):
+            raise InvalidHint("array_shape extents must be positive")
+        if hint.level is FileLevel.MULTIDIM:
+            brick_shape = hint.brick_shape
+            if brick_shape is None:
+                # Default: aim for bricks of DEFAULT_BRICK_SIZE bytes,
+                # near-square tiles.
+                target = max(1, hint.brick_size // hint.element_size)
+                side = max(1, round(target ** (1.0 / len(hint.array_shape))))
+                brick_shape = tuple(
+                    min(side, n) for n in hint.array_shape
+                )
+                hint = replace(hint, brick_shape=brick_shape)
+            if len(brick_shape) != len(hint.array_shape):
+                raise InvalidHint("brick_shape rank != array_shape rank")
+            if any(b <= 0 for b in brick_shape):
+                raise InvalidHint("brick_shape extents must be positive")
+            if any(b > n for b, n in zip(brick_shape, hint.array_shape)):
+                raise InvalidHint("brick_shape exceeds array_shape")
+            return hint
+        # ARRAY level
+        if hint.pattern is None:
+            raise InvalidHint("array files need an HPF pattern")
+        if hint.nprocs is None or hint.nprocs < 1:
+            raise InvalidHint("array files need nprocs >= 1")
+        symbols = parse_pattern(hint.pattern)
+        if len(symbols) != len(hint.array_shape):
+            raise InvalidHint("pattern rank != array rank")
+        if any(s is Dist.CYCLIC for s in symbols):
+            raise InvalidHint("array-level files support BLOCK/* patterns")
+        if hint.pgrid is not None and math.prod(hint.pgrid) != hint.nprocs:
+            raise InvalidHint("pgrid does not hold nprocs processors")
+        return hint
+
+    # -- derived quantities ---------------------------------------------------
+    def striping(self) -> StripingMethod:
+        """Build the striping method this hint describes."""
+        hint = self.validate()
+        if hint.level is FileLevel.LINEAR:
+            return LinearStriping(hint.brick_size, hint.file_size)
+        if hint.level is FileLevel.MULTIDIM:
+            assert hint.array_shape is not None and hint.brick_shape is not None
+            return MultidimStriping(
+                hint.array_shape, hint.element_size, hint.brick_shape
+            )
+        assert hint.array_shape is not None and hint.pattern is not None
+        assert hint.nprocs is not None
+        return ArrayStriping(
+            hint.array_shape,
+            hint.element_size,
+            hint.pattern,
+            hint.nprocs,
+            hint.pgrid,
+        )
+
+    def expected_bricks(self) -> int:
+        """Brick count implied by the hint (before any growth)."""
+        hint = self.validate()
+        if hint.level is FileLevel.LINEAR:
+            return ceil_div(hint.file_size, hint.brick_size) if hint.file_size else 0
+        return self.striping().brick_count

@@ -1,0 +1,474 @@
+"""The three DPFS striping methods / file levels (§3).
+
+Each method knows how to
+
+- enumerate the file's bricks and their byte sizes (what the placement
+  algorithm consumes at create time), and
+- translate a logical request — a byte-extent list for linear files, an
+  N-d :class:`~repro.hpf.regions.Region` for multidimensional and array
+  files — into :class:`~repro.core.brick.BrickSlice` lists whose
+  ``buffer_offset`` fields define the packed payload order.
+
+Layouts
+-------
+*Linear* (§3.1): the file is a byte stream; brick ``b`` covers bytes
+``[b·bs, (b+1)·bs)``.
+
+*Multidimensional* (§3.2): the array is tiled by ``brick_shape``; bricks
+are numbered row-major over the tile grid and each brick stores its
+tile row-major, padded to the full tile volume when the array does not
+divide evenly (so subfile offsets stay uniform).
+
+*Array* (§3.3): one brick per processor chunk of an HPF distribution;
+each brick stores its chunk row-major and brick sizes vary with chunk
+volume.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from enum import Enum
+
+from ..errors import StripingError
+from ..hpf.distribution import Dist, decompose, grid_shape, parse_pattern, pattern_str
+from ..hpf.regions import Region
+from ..util import Extent, ceil_div
+from .brick import BrickSlice
+
+__all__ = [
+    "FileLevel",
+    "StripingMethod",
+    "LinearStriping",
+    "MultidimStriping",
+    "ArrayStriping",
+]
+
+
+class FileLevel(Enum):
+    """The three DPFS file levels, lowest (most general) first."""
+
+    LINEAR = "linear"
+    MULTIDIM = "multidim"
+    ARRAY = "array"
+
+
+class StripingMethod(ABC):
+    """Common interface of the three striping methods."""
+
+    level: FileLevel
+
+    @abstractmethod
+    def brick_sizes(self) -> list[int]:
+        """Byte size of every brick, in brick-id order."""
+
+    @property
+    @abstractmethod
+    def brick_count(self) -> int:
+        ...
+
+    @abstractmethod
+    def total_bytes(self) -> int:
+        """Logical file size in bytes (payload, excluding tile padding)."""
+
+    @abstractmethod
+    def slices_for_extents(self, extents: Sequence[Extent]) -> list[BrickSlice]:
+        """Brick slices for a list of logical byte extents."""
+
+    def slices_for_region(self, region: Region) -> list[BrickSlice]:
+        """Brick slices for an N-d element region (array-aware levels)."""
+        raise StripingError(
+            f"{self.level.value} files do not support region addressing"
+        )
+
+    # -- shared helper -----------------------------------------------------
+    @staticmethod
+    def _merge(slices: list[BrickSlice]) -> list[BrickSlice]:
+        """Merge payload-order-adjacent slices that abut inside one brick."""
+        out: list[BrickSlice] = []
+        for s in slices:
+            if (
+                out
+                and out[-1].brick_id == s.brick_id
+                and out[-1].offset + out[-1].length == s.offset
+                and out[-1].buffer_offset + out[-1].length == s.buffer_offset
+            ):
+                prev = out[-1]
+                out[-1] = BrickSlice(
+                    prev.brick_id,
+                    prev.offset,
+                    prev.length + s.length,
+                    prev.buffer_offset,
+                )
+            else:
+                out.append(s)
+        return out
+
+
+class LinearStriping(StripingMethod):
+    """§3.1 — the file is a stream of ``brick_size``-byte linear bricks."""
+
+    level = FileLevel.LINEAR
+
+    def __init__(self, brick_size: int, file_size: int) -> None:
+        if brick_size <= 0:
+            raise StripingError(f"brick size must be positive, got {brick_size}")
+        if file_size < 0:
+            raise StripingError(f"file size must be >= 0, got {file_size}")
+        self.brick_size = brick_size
+        self.file_size = file_size
+
+    @property
+    def brick_count(self) -> int:
+        return ceil_div(self.file_size, self.brick_size) if self.file_size else 0
+
+    def brick_sizes(self) -> list[int]:
+        # The last brick is padded to full size on storage, like the tile
+        # padding of the multidim level, so subfile offsets stay uniform.
+        return [self.brick_size] * self.brick_count
+
+    def total_bytes(self) -> int:
+        return self.file_size
+
+    def grow_to(self, new_size: int) -> int:
+        """Grow the logical size; returns how many *new* bricks appeared."""
+        if new_size < self.file_size:
+            raise StripingError("linear files can only grow")
+        old_bricks = self.brick_count
+        self.file_size = new_size
+        return self.brick_count - old_bricks
+
+    def slices_for_extents(self, extents: Sequence[Extent]) -> list[BrickSlice]:
+        slices: list[BrickSlice] = []
+        payload = 0
+        bs = self.brick_size
+        for off, ln in extents:
+            if off < 0 or ln < 0:
+                raise StripingError(f"invalid extent ({off}, {ln})")
+            if off + ln > self.file_size:
+                raise StripingError(
+                    f"extent [{off}, {off + ln}) beyond EOF {self.file_size}"
+                )
+            while ln > 0:
+                brick = off // bs
+                within = off - brick * bs
+                take = min(bs - within, ln)
+                slices.append(BrickSlice(brick, within, take, payload))
+                off += take
+                ln -= take
+                payload += take
+        return self._merge(slices)
+
+
+class MultidimStriping(StripingMethod):
+    """§3.2 — bricks are N-d tiles of the array (the paper's novelty)."""
+
+    level = FileLevel.MULTIDIM
+
+    def __init__(
+        self,
+        array_shape: Sequence[int],
+        element_size: int,
+        brick_shape: Sequence[int],
+    ) -> None:
+        if element_size <= 0:
+            raise StripingError("element size must be positive")
+        if len(array_shape) != len(brick_shape):
+            raise StripingError("array/brick rank mismatch")
+        if not array_shape:
+            raise StripingError("array rank must be >= 1")
+        for dim, (n, b) in enumerate(zip(array_shape, brick_shape)):
+            if n <= 0 or b <= 0:
+                raise StripingError(f"dimension {dim}: sizes must be positive")
+            if b > n:
+                raise StripingError(
+                    f"dimension {dim}: brick extent {b} exceeds array extent {n}"
+                )
+        self.array_shape = tuple(array_shape)
+        self.element_size = element_size
+        self.brick_shape = tuple(brick_shape)
+        #: tile-grid shape: bricks per dimension
+        self.grid = tuple(
+            ceil_div(n, b) for n, b in zip(self.array_shape, self.brick_shape)
+        )
+        self._brick_volume = math.prod(self.brick_shape)
+
+    @property
+    def rank(self) -> int:
+        return len(self.array_shape)
+
+    @property
+    def brick_count(self) -> int:
+        return math.prod(self.grid)
+
+    def brick_sizes(self) -> list[int]:
+        size = self._brick_volume * self.element_size
+        return [size] * self.brick_count
+
+    def total_bytes(self) -> int:
+        return math.prod(self.array_shape) * self.element_size
+
+    # -- brick geometry ----------------------------------------------------
+    def brick_id_of(self, grid_coords: Sequence[int]) -> int:
+        idx = 0
+        for c, g in zip(grid_coords, self.grid):
+            if not 0 <= c < g:
+                raise StripingError(
+                    f"grid coords {tuple(grid_coords)} outside grid {self.grid}"
+                )
+            idx = idx * g + c
+        return idx
+
+    def brick_region(self, brick_id: int) -> Region:
+        """The array region a brick covers (clipped at array bounds)."""
+        if not 0 <= brick_id < self.brick_count:
+            raise StripingError(f"brick {brick_id} outside grid {self.grid}")
+        coords = []
+        rest = brick_id
+        for g in reversed(self.grid):
+            coords.append(rest % g)
+            rest //= g
+        coords.reverse()
+        starts = tuple(c * b for c, b in zip(coords, self.brick_shape))
+        stops = tuple(
+            min(s + b, n)
+            for s, b, n in zip(starts, self.brick_shape, self.array_shape)
+        )
+        return Region(starts, stops)
+
+    def _within_brick_offset(self, cell: Sequence[int]) -> tuple[int, int]:
+        """(brick_id, byte offset of `cell` inside its brick)."""
+        grid_coords = tuple(c // b for c, b in zip(cell, self.brick_shape))
+        local = tuple(c - g * b for c, g, b in zip(cell, grid_coords, self.brick_shape))
+        idx = 0
+        for c, b in zip(local, self.brick_shape):
+            idx = idx * b + c
+        return self.brick_id_of(grid_coords), idx * self.element_size
+
+    # -- request translation ----------------------------------------------
+    def slices_for_region(self, region: Region) -> list[BrickSlice]:
+        if region.rank != self.rank:
+            raise StripingError(
+                f"region rank {region.rank} != array rank {self.rank}"
+            )
+        if not Region.full(self.array_shape).covers(region):
+            raise StripingError(f"{region!r} outside array {self.array_shape}")
+        slices: list[BrickSlice] = []
+        payload = 0
+        elem = self.element_size
+        inner_brick = self.brick_shape[-1]
+        for start_cell, run in region.rows():
+            # Split the innermost run at brick boundaries.
+            col = start_cell[-1]
+            remaining = run
+            while remaining > 0:
+                take = min(inner_brick - (col % inner_brick), remaining)
+                cell = tuple(start_cell[:-1]) + (col,)
+                brick_id, within = self._within_brick_offset(cell)
+                slices.append(
+                    BrickSlice(brick_id, within, take * elem, payload)
+                )
+                payload += take * elem
+                col += take
+                remaining -= take
+        return self._merge(slices)
+
+    def slices_for_extents(self, extents: Sequence[Extent]) -> list[BrickSlice]:
+        """Linear byte extents over the *row-major flattened* array.
+
+        Provided so a multidim file can still be read as a stream (e.g.
+        export to a sequential file, §7): each flattened extent is
+        converted to the array cells it covers, row by row.
+        """
+        slices: list[BrickSlice] = []
+        payload = 0
+        elem = self.element_size
+        row_len = self.array_shape[-1]
+        total = self.total_bytes()
+        for off, ln in extents:
+            if off < 0 or ln < 0 or off + ln > total:
+                raise StripingError(f"extent ({off}, {ln}) outside file")
+            if off % elem or ln % elem:
+                raise StripingError(
+                    "linear access to a multidim file must be element-aligned"
+                )
+            first = off // elem
+            count = ln // elem
+            while count > 0:
+                coords = []
+                rest = first
+                for n in reversed(self.array_shape):
+                    coords.append(rest % n)
+                    rest //= n
+                coords.reverse()
+                run = min(row_len - coords[-1], count)
+                sub = self.slices_for_region(
+                    Region(
+                        tuple(coords),
+                        tuple(c + 1 for c in coords[:-1]) + (coords[-1] + run,),
+                    )
+                )
+                for s in sub:
+                    slices.append(
+                        BrickSlice(
+                            s.brick_id, s.offset, s.length, payload + s.buffer_offset
+                        )
+                    )
+                payload += run * elem
+                first += run
+                count -= run
+        return self._merge(slices)
+
+
+class ArrayStriping(StripingMethod):
+    """§3.3 — one coarse-grain brick per processor chunk (HPF notation)."""
+
+    level = FileLevel.ARRAY
+
+    def __init__(
+        self,
+        array_shape: Sequence[int],
+        element_size: int,
+        pattern: str | Sequence[Dist | str],
+        nprocs: int,
+        pgrid: Sequence[int] | None = None,
+    ) -> None:
+        if element_size <= 0:
+            raise StripingError("element size must be positive")
+        if nprocs < 1:
+            raise StripingError("array striping needs at least one processor")
+        self.array_shape = tuple(array_shape)
+        self.element_size = element_size
+        self.pattern = parse_pattern(pattern)
+        if len(self.pattern) != len(self.array_shape):
+            raise StripingError("pattern rank != array rank")
+        if any(p is Dist.CYCLIC for p in self.pattern):
+            raise StripingError(
+                "array-level files support BLOCK/* patterns (per the paper); "
+                "CYCLIC chunks are not single bricks"
+            )
+        self.nprocs = nprocs
+        self.pgrid = (
+            tuple(pgrid) if pgrid is not None else grid_shape(self.pattern, nprocs)
+        )
+        self.chunks: list[Region] = decompose(
+            self.array_shape, self.pattern, nprocs, self.pgrid
+        )
+
+    @property
+    def rank(self) -> int:
+        return len(self.array_shape)
+
+    @property
+    def brick_count(self) -> int:
+        return self.nprocs
+
+    def brick_sizes(self) -> list[int]:
+        # Empty chunks (more processors than block slots) still get a
+        # 1-byte placeholder so every brick id resolves to a location.
+        return [
+            max(chunk.volume, 1) * self.element_size for chunk in self.chunks
+        ]
+
+    def total_bytes(self) -> int:
+        return math.prod(self.array_shape) * self.element_size
+
+    def pattern_string(self) -> str:
+        return pattern_str(self.pattern)
+
+    def chunk_of(self, rank: int) -> Region:
+        if not 0 <= rank < self.nprocs:
+            raise StripingError(f"rank {rank} outside [0, {self.nprocs})")
+        return self.chunks[rank]
+
+    # -- request translation ------------------------------------------------
+    def slices_for_region(self, region: Region) -> list[BrickSlice]:
+        if region.rank != self.rank:
+            raise StripingError("region rank mismatch")
+        if not Region.full(self.array_shape).covers(region):
+            raise StripingError(f"{region!r} outside array {self.array_shape}")
+        slices: list[BrickSlice] = []
+        payload = 0
+        elem = self.element_size
+        # Walk the region's rows (payload order) and, for each run, find
+        # the chunk(s) covering it.  Chunks tile the array, and within one
+        # row a run can cross chunk boundaries only along the innermost
+        # distributed dimension.
+        for start_cell, run in region.rows():
+            col = start_cell[-1]
+            remaining = run
+            while remaining > 0:
+                cell = tuple(start_cell[:-1]) + (col,)
+                brick_id = self._owner_of(cell)
+                chunk = self.chunks[brick_id]
+                take = min(chunk.stops[-1] - col, remaining)
+                local = [c - s for c, s in zip(cell, chunk.starts)]
+                within = 0
+                for c, extent in zip(local, chunk.shape):
+                    within = within * extent + c
+                slices.append(
+                    BrickSlice(brick_id, within * elem, take * elem, payload)
+                )
+                payload += take * elem
+                col += take
+                remaining -= take
+        return self._merge(slices)
+
+    def _owner_of(self, cell: Sequence[int]) -> int:
+        # Under the HPF BLOCK rule the owner grid coordinate is a direct
+        # division — no search needed.
+        rank = 0
+        for c, n, symbol, g in zip(
+            cell, self.array_shape, self.pattern, self.pgrid
+        ):
+            if symbol is Dist.STAR:
+                coord = 0
+            else:
+                coord = min(c // ceil_div(n, g), g - 1)
+            rank = rank * g + coord
+        chunk = self.chunks[rank]
+        if chunk.empty or not chunk.contains(cell):  # pragma: no cover
+            raise StripingError(f"cell {tuple(cell)} owned by no chunk")
+        return rank
+
+    def slices_for_extents(self, extents: Sequence[Extent]) -> list[BrickSlice]:
+        """Flattened row-major byte access (export path), as for multidim."""
+        slices: list[BrickSlice] = []
+        payload = 0
+        elem = self.element_size
+        row_len = self.array_shape[-1]
+        total = self.total_bytes()
+        for off, ln in extents:
+            if off < 0 or ln < 0 or off + ln > total:
+                raise StripingError(f"extent ({off}, {ln}) outside file")
+            if off % elem or ln % elem:
+                raise StripingError(
+                    "linear access to an array file must be element-aligned"
+                )
+            first = off // elem
+            count = ln // elem
+            while count > 0:
+                coords = []
+                rest = first
+                for n in reversed(self.array_shape):
+                    coords.append(rest % n)
+                    rest //= n
+                coords.reverse()
+                run = min(row_len - coords[-1], count)
+                sub = self.slices_for_region(
+                    Region(
+                        tuple(coords),
+                        tuple(c + 1 for c in coords[:-1]) + (coords[-1] + run,),
+                    )
+                )
+                for s in sub:
+                    slices.append(
+                        BrickSlice(
+                            s.brick_id, s.offset, s.length, payload + s.buffer_offset
+                        )
+                    )
+                payload += run * elem
+                first += run
+                count -= run
+        return self._merge(slices)

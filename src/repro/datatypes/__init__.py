@@ -1,0 +1,34 @@
+"""MPI-IO-style derived datatypes for non-contiguous DPFS access (§6)."""
+
+from .base import Basic, Datatype
+from .types import (
+    BYTE,
+    CHAR,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    Contiguous,
+    HIndexed,
+    HVector,
+    Indexed,
+    Subarray,
+    Vector,
+)
+
+__all__ = [
+    "Datatype",
+    "Basic",
+    "BYTE",
+    "CHAR",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "Contiguous",
+    "Vector",
+    "HVector",
+    "Indexed",
+    "HIndexed",
+    "Subarray",
+]

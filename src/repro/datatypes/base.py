@@ -1,0 +1,141 @@
+"""Derived datatype core abstractions.
+
+DPFS adopts MPI-IO's derived-datatype approach for describing
+non-contiguous file/buffer regions (§6 of the paper).  A datatype is a
+typemap: an ordered sequence of byte extents relative to a base offset.
+
+Key quantities (MPI semantics):
+
+``size``
+    Number of bytes of actual data the type describes.
+``extent``
+    Span from the first to one past the last byte, including holes —
+    the stride used when a type is repeated.
+
+``extents(base)`` yields ``(offset, length)`` pairs *in typemap order*
+(not sorted), so packing a user buffer into file order is a plain
+concatenation walk.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+from ..errors import DatatypeError
+from ..util import Extent
+
+__all__ = ["Datatype", "Basic"]
+
+
+class Datatype(ABC):
+    """Abstract base for all derived datatypes."""
+
+    __slots__ = ()
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Bytes of data (holes excluded)."""
+
+    @property
+    @abstractmethod
+    def extent(self) -> int:
+        """Total span in bytes (holes included)."""
+
+    @abstractmethod
+    def extents(self, base: int = 0) -> Iterator[Extent]:
+        """Yield ``(offset, length)`` byte extents in typemap order.
+
+        Adjacent extents are *not* merged here — callers that want
+        merged layouts use :meth:`flattened`.
+        """
+
+    def flattened(self, base: int = 0) -> list[Extent]:
+        """Typemap with adjacent extents merged (order preserved).
+
+        Only *abutting* extents (next starts exactly where the previous
+        ended) are merged, so the result still packs/unpacks in the same
+        order as :meth:`extents`.
+        """
+        out: list[Extent] = []
+        for off, ln in self.extents(base):
+            if ln <= 0:
+                continue
+            if out and out[-1][0] + out[-1][1] == off:
+                out[-1] = (out[-1][0], out[-1][1] + ln)
+            else:
+                out.append((off, ln))
+        return out
+
+    # -- pack / unpack ------------------------------------------------------
+    def pack(self, buffer: bytes | bytearray | memoryview) -> bytes:
+        """Gather the typed bytes of ``buffer`` into one contiguous blob."""
+        view = memoryview(buffer)
+        if len(view) < self.extent:
+            raise DatatypeError(
+                f"buffer too small: need {self.extent} bytes, got {len(view)}"
+            )
+        parts = [view[off : off + ln] for off, ln in self.extents()]
+        return b"".join(bytes(p) for p in parts)
+
+    def unpack(self, data: bytes, buffer: bytearray | memoryview) -> None:
+        """Scatter a contiguous blob back into ``buffer`` at the typemap."""
+        if len(data) != self.size:
+            raise DatatypeError(
+                f"data length {len(data)} != datatype size {self.size}"
+            )
+        view = memoryview(buffer)
+        if len(view) < self.extent:
+            raise DatatypeError(
+                f"buffer too small: need {self.extent} bytes, got {len(view)}"
+            )
+        pos = 0
+        for off, ln in self.extents():
+            view[off : off + ln] = data[pos : pos + ln]
+            pos += ln
+
+    # -- misc ---------------------------------------------------------------
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the typemap is one gap-free extent from offset 0."""
+        flat = self.flattened()
+        return len(flat) <= 1 and (not flat or flat[0][0] == 0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Datatype):
+            return NotImplemented
+        return (
+            self.size == other.size
+            and self.extent == other.extent
+            and self.flattened() == other.flattened()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.size, self.extent, tuple(self.flattened())))
+
+
+class Basic(Datatype):
+    """A predefined elementary type of ``nbytes`` bytes (e.g. DOUBLE=8)."""
+
+    __slots__ = ("nbytes", "name")
+
+    def __init__(self, nbytes: int, name: str = "basic") -> None:
+        if nbytes <= 0:
+            raise DatatypeError(f"basic type size must be positive, got {nbytes}")
+        self.nbytes = nbytes
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        return self.nbytes
+
+    @property
+    def extent(self) -> int:
+        return self.nbytes
+
+    def extents(self, base: int = 0) -> Iterator[Extent]:
+        yield (base, self.nbytes)
+
+    def __repr__(self) -> str:
+        return f"Basic({self.name}, {self.nbytes})"

@@ -1,0 +1,291 @@
+"""Derived datatype constructors (MPI-IO analogues).
+
+==============  =======================================
+MPI             here
+==============  =======================================
+MPI_BYTE etc.   BYTE, CHAR, INT32, INT64, FLOAT32, FLOAT64
+Type_contiguous Contiguous(count, base)
+Type_vector     Vector(count, blocklength, stride, base)
+Type_hvector    HVector(count, blocklength, stride_bytes, base)
+Type_indexed    Indexed(blocklengths, displacements, base)
+Type_hindexed   HIndexed(blocklengths, byte_displacements, base)
+Type_subarray   Subarray(shape, subsizes, starts, base)
+==============  =======================================
+
+``Subarray`` is the workhorse for DPFS: a processor's (BLOCK, \\*) or
+(\\*, BLOCK) piece of a global array is exactly a subarray type over the
+file.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+
+from ..errors import DatatypeError
+from ..util import Extent
+from .base import Basic, Datatype
+
+__all__ = [
+    "BYTE",
+    "CHAR",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "Contiguous",
+    "Vector",
+    "HVector",
+    "Indexed",
+    "HIndexed",
+    "Subarray",
+]
+
+BYTE = Basic(1, "byte")
+CHAR = Basic(1, "char")
+INT32 = Basic(4, "int32")
+INT64 = Basic(8, "int64")
+FLOAT32 = Basic(4, "float32")
+FLOAT64 = Basic(8, "float64")
+
+
+class Contiguous(Datatype):
+    """``count`` repetitions of ``base`` laid end to end."""
+
+    __slots__ = ("count", "base")
+
+    def __init__(self, count: int, base: Datatype = BYTE) -> None:
+        if count < 0:
+            raise DatatypeError(f"count must be >= 0, got {count}")
+        self.count = count
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return self.count * self.base.size
+
+    @property
+    def extent(self) -> int:
+        return self.count * self.base.extent
+
+    def extents(self, base: int = 0) -> Iterator[Extent]:
+        stride = self.base.extent
+        if self.base.is_contiguous and self.base.size == stride:
+            # Fast path: one merged run.
+            if self.count:
+                yield (base, self.count * stride)
+            return
+        for i in range(self.count):
+            yield from self.base.extents(base + i * stride)
+
+    def __repr__(self) -> str:
+        return f"Contiguous({self.count}, {self.base!r})"
+
+
+class HVector(Datatype):
+    """``count`` blocks of ``blocklength`` bases, byte stride between blocks."""
+
+    __slots__ = ("count", "blocklength", "stride_bytes", "base")
+
+    def __init__(
+        self, count: int, blocklength: int, stride_bytes: int, base: Datatype = BYTE
+    ) -> None:
+        if count < 0 or blocklength < 0:
+            raise DatatypeError("count and blocklength must be >= 0")
+        self.count = count
+        self.blocklength = blocklength
+        self.stride_bytes = stride_bytes
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return self.count * self.blocklength * self.base.size
+
+    @property
+    def extent(self) -> int:
+        if self.count == 0 or self.blocklength == 0:
+            return 0
+        block_extent = self.blocklength * self.base.extent
+        lo = min(0, (self.count - 1) * self.stride_bytes)
+        hi = max(block_extent, (self.count - 1) * self.stride_bytes + block_extent)
+        return hi - lo
+
+    def extents(self, base: int = 0) -> Iterator[Extent]:
+        block = Contiguous(self.blocklength, self.base)
+        for i in range(self.count):
+            yield from block.extents(base + i * self.stride_bytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"HVector({self.count}, {self.blocklength}, "
+            f"{self.stride_bytes}, {self.base!r})"
+        )
+
+
+class Vector(HVector):
+    """Like :class:`HVector` but the stride is in units of ``base`` extents."""
+
+    __slots__ = ("stride",)
+
+    def __init__(
+        self, count: int, blocklength: int, stride: int, base: Datatype = BYTE
+    ) -> None:
+        super().__init__(count, blocklength, stride * base.extent, base)
+        self.stride = stride
+
+    def __repr__(self) -> str:
+        return f"Vector({self.count}, {self.blocklength}, {self.stride}, {self.base!r})"
+
+
+class HIndexed(Datatype):
+    """Blocks of varying length at arbitrary byte displacements."""
+
+    __slots__ = ("blocklengths", "displacements", "base")
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        byte_displacements: Sequence[int],
+        base: Datatype = BYTE,
+    ) -> None:
+        if len(blocklengths) != len(byte_displacements):
+            raise DatatypeError("blocklengths/displacements length mismatch")
+        if any(b < 0 for b in blocklengths):
+            raise DatatypeError("blocklengths must be >= 0")
+        self.blocklengths = tuple(blocklengths)
+        self.displacements = tuple(byte_displacements)
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return sum(self.blocklengths) * self.base.size
+
+    @property
+    def extent(self) -> int:
+        if not self.blocklengths:
+            return 0
+        lo = min(min(self.displacements), 0)
+        hi = max(
+            d + b * self.base.extent
+            for d, b in zip(self.displacements, self.blocklengths)
+        )
+        return hi - lo
+
+    def extents(self, base: int = 0) -> Iterator[Extent]:
+        for blocklength, disp in zip(self.blocklengths, self.displacements):
+            block = Contiguous(blocklength, self.base)
+            yield from block.extents(base + disp)
+
+    def __repr__(self) -> str:
+        return f"HIndexed({self.blocklengths}, {self.displacements}, {self.base!r})"
+
+
+class Indexed(HIndexed):
+    """Like :class:`HIndexed` with displacements in base-extent units."""
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements: Sequence[int],
+        base: Datatype = BYTE,
+    ) -> None:
+        super().__init__(
+            blocklengths,
+            [d * base.extent for d in displacements],
+            base,
+        )
+
+
+class Subarray(Datatype):
+    """An N-dimensional rectangular window of a row-major global array.
+
+    ``shape``    — global array shape (elements),
+    ``subsizes`` — window shape,
+    ``starts``   — window origin.
+
+    The type's extent equals the whole global array, as in MPI, so a
+    file view set to a Subarray addresses absolute array positions.
+    """
+
+    __slots__ = ("shape", "subsizes", "starts", "base")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        subsizes: Sequence[int],
+        starts: Sequence[int],
+        base: Datatype = BYTE,
+    ) -> None:
+        if not (len(shape) == len(subsizes) == len(starts)):
+            raise DatatypeError("shape/subsizes/starts rank mismatch")
+        if not shape:
+            raise DatatypeError("subarray rank must be >= 1")
+        for dim, (n, sub, start) in enumerate(zip(shape, subsizes, starts)):
+            if n <= 0:
+                raise DatatypeError(f"dimension {dim}: size must be positive")
+            if sub < 0 or start < 0 or start + sub > n:
+                raise DatatypeError(
+                    f"dimension {dim}: window [{start}, {start + sub}) "
+                    f"outside [0, {n})"
+                )
+        self.shape = tuple(shape)
+        self.subsizes = tuple(subsizes)
+        self.starts = tuple(starts)
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.subsizes) * self.base.size
+
+    @property
+    def extent(self) -> int:
+        return math.prod(self.shape) * self.base.extent
+
+    def extents(self, base: int = 0) -> Iterator[Extent]:
+        if math.prod(self.subsizes) == 0:
+            return
+        elem = self.base.extent
+        rank = len(self.shape)
+        # Row-major strides in elements.
+        strides = [1] * rank
+        for d in range(rank - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.shape[d + 1]
+        contiguous_base = self.base.is_contiguous and self.base.size == elem
+        # Iterate all outer coordinates; the innermost dim is one run when
+        # the base has no holes, else per-element.
+        outer = self.subsizes[:-1]
+        inner = self.subsizes[-1]
+        coords = [0] * max(len(outer), 1)
+
+        def offset_of(outer_coords: Sequence[int]) -> int:
+            off = self.starts[-1] * strides[-1]
+            for d, c in enumerate(outer_coords[: rank - 1]):
+                off += (self.starts[d] + c) * strides[d]
+            return off * elem
+
+        if rank == 1:
+            start = self.starts[0] * elem
+            if contiguous_base:
+                yield (base + start, inner * elem)
+            else:
+                for i in range(inner):
+                    yield from self.base.extents(base + start + i * elem)
+            return
+
+        total_outer = math.prod(outer)
+        for _ in range(total_outer):
+            off = offset_of(coords)
+            if contiguous_base:
+                yield (base + off, inner * elem)
+            else:
+                for i in range(inner):
+                    yield from self.base.extents(base + off + i * elem)
+            # increment odometer over outer dims
+            for d in range(len(outer) - 1, -1, -1):
+                coords[d] += 1
+                if coords[d] < outer[d]:
+                    break
+                coords[d] = 0
+
+    def __repr__(self) -> str:
+        return f"Subarray({self.shape}, {self.subsizes}, {self.starts}, {self.base!r})"

@@ -1,0 +1,167 @@
+"""Exception hierarchy shared by every DPFS subsystem.
+
+All errors raised by the library derive from :class:`DPFSError` so callers
+can catch one base class.  Substrate packages (the embedded database, the
+simulator, the network transport) define their own subtrees here as well,
+keeping a single import point for error handling.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DPFSError",
+    "ConfigError",
+    # file system
+    "FileSystemError",
+    "FileNotFound",
+    "FileExists",
+    "NotADirectory",
+    "IsADirectory",
+    "DirectoryNotEmpty",
+    "InvalidPath",
+    "PermissionDenied",
+    "BadFileHandle",
+    "InvalidHint",
+    "StripingError",
+    "PlacementError",
+    # metadata database
+    "MetaDBError",
+    "SQLSyntaxError",
+    "SchemaError",
+    "ConstraintError",
+    "TransactionError",
+    # simulation
+    "SimulationError",
+    "SimStopped",
+    # network transport
+    "TransportError",
+    "ProtocolError",
+    "ServerError",
+    # datatypes / HPF
+    "DatatypeError",
+    "DistributionError",
+]
+
+
+class DPFSError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(DPFSError):
+    """Invalid configuration value (cost model, topology, backend...)."""
+
+
+# ---------------------------------------------------------------------------
+# File system layer
+# ---------------------------------------------------------------------------
+
+class FileSystemError(DPFSError):
+    """Base class for DPFS file-system level errors."""
+
+
+class FileNotFound(FileSystemError):
+    """The named DPFS file or directory does not exist."""
+
+
+class FileExists(FileSystemError):
+    """Attempt to create a file or directory that already exists."""
+
+
+class NotADirectory(FileSystemError):
+    """A path component used as a directory is a regular file."""
+
+
+class IsADirectory(FileSystemError):
+    """A file operation was attempted on a directory."""
+
+
+class DirectoryNotEmpty(FileSystemError):
+    """``rmdir`` on a directory that still has children."""
+
+
+class InvalidPath(FileSystemError):
+    """Malformed DPFS path."""
+
+
+class PermissionDenied(FileSystemError):
+    """Operation not allowed by the file's permission bits."""
+
+
+class BadFileHandle(FileSystemError):
+    """Operation on a closed or invalid file handle."""
+
+
+class InvalidHint(FileSystemError):
+    """The hint structure passed to DPFS-Open is inconsistent."""
+
+
+class StripingError(DPFSError):
+    """Request region is inconsistent with the file's striping method."""
+
+
+class PlacementError(DPFSError):
+    """Invalid arguments to a brick placement algorithm."""
+
+
+# ---------------------------------------------------------------------------
+# Embedded metadata database
+# ---------------------------------------------------------------------------
+
+class MetaDBError(DPFSError):
+    """Base class for the embedded SQL engine."""
+
+
+class SQLSyntaxError(MetaDBError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SchemaError(MetaDBError):
+    """Unknown table/column, duplicate table, arity mismatch..."""
+
+
+class ConstraintError(MetaDBError):
+    """Primary key / NOT NULL violation."""
+
+
+class TransactionError(MetaDBError):
+    """Illegal transaction state transition (e.g. COMMIT with no BEGIN)."""
+
+
+# ---------------------------------------------------------------------------
+# Discrete-event simulation kernel
+# ---------------------------------------------------------------------------
+
+class SimulationError(DPFSError):
+    """Base class for simulator misuse."""
+
+
+class SimStopped(SimulationError):
+    """Raised inside a process when the simulation is force-stopped."""
+
+
+# ---------------------------------------------------------------------------
+# TCP transport
+# ---------------------------------------------------------------------------
+
+class TransportError(DPFSError):
+    """Base class for the real-socket transport."""
+
+
+class ProtocolError(TransportError):
+    """Malformed frame or unexpected message type on the wire."""
+
+
+class ServerError(TransportError):
+    """The remote DPFS server reported a failure servicing a request."""
+
+
+# ---------------------------------------------------------------------------
+# Derived datatypes / HPF decomposition
+# ---------------------------------------------------------------------------
+
+class DatatypeError(DPFSError):
+    """Invalid derived-datatype construction or use."""
+
+
+class DistributionError(DPFSError):
+    """Invalid HPF distribution specification."""

@@ -1,0 +1,21 @@
+"""HPF-notation data distributions and N-d region algebra (§3.3)."""
+
+from .distribution import (
+    Dist,
+    decompose,
+    grid_shape,
+    owned_regions,
+    parse_pattern,
+    pattern_str,
+)
+from .regions import Region
+
+__all__ = [
+    "Dist",
+    "Region",
+    "parse_pattern",
+    "pattern_str",
+    "grid_shape",
+    "decompose",
+    "owned_regions",
+]

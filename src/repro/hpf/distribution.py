@@ -1,0 +1,233 @@
+"""HPF-style data distributions: (BLOCK, \\*), (\\*, BLOCK), (BLOCK, BLOCK)...
+
+The array file level of DPFS (§3.3) stores each processor's chunk as one
+brick, where chunks follow High Performance Fortran conventions.  This
+module computes those chunks.
+
+A distribution spec is one symbol per array dimension:
+
+- ``Dist.BLOCK`` — dimension split into ``ceil(n/p)``-sized contiguous
+  blocks over that axis of the processor grid (HPF BLOCK rule; the last
+  processor may get a short block),
+- ``Dist.STAR`` (``*``) — dimension not distributed,
+- ``Dist.CYCLIC`` — round-robin by single index (extension beyond the
+  paper's examples; supported for completeness).
+
+``decompose`` returns, for each processor rank (row-major over the
+processor grid), the :class:`~repro.hpf.regions.Region` it owns — or a
+list of regions for CYCLIC dimensions.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from collections.abc import Sequence
+
+from ..errors import DistributionError
+from ..util import ceil_div
+from .regions import Region
+
+__all__ = ["Dist", "parse_pattern", "pattern_str", "grid_shape", "decompose", "owned_regions"]
+
+
+class Dist(Enum):
+    """Per-dimension distribution symbol."""
+
+    BLOCK = "BLOCK"
+    CYCLIC = "CYCLIC"
+    STAR = "*"
+
+
+def parse_pattern(pattern: str | Sequence[Dist | str]) -> tuple[Dist, ...]:
+    """Parse ``"(BLOCK, *)"``, ``["BLOCK", "*"]``... into Dist symbols."""
+    if isinstance(pattern, str):
+        text = pattern.strip()
+        if text.startswith("(") and text.endswith(")"):
+            text = text[1:-1]
+        parts: Sequence[str] = [p.strip() for p in text.split(",")]
+    else:
+        parts = list(pattern)  # type: ignore[arg-type]
+    symbols: list[Dist] = []
+    for part in parts:
+        if isinstance(part, Dist):
+            symbols.append(part)
+            continue
+        token = str(part).strip().upper()
+        if token in ("*", "STAR"):
+            symbols.append(Dist.STAR)
+        elif token == "BLOCK":
+            symbols.append(Dist.BLOCK)
+        elif token == "CYCLIC":
+            symbols.append(Dist.CYCLIC)
+        else:
+            raise DistributionError(f"unknown distribution symbol {part!r}")
+    if not symbols:
+        raise DistributionError("empty distribution pattern")
+    return tuple(symbols)
+
+
+def pattern_str(pattern: Sequence[Dist]) -> str:
+    """Render a pattern back to HPF notation, e.g. ``(BLOCK, *)``."""
+    return "(" + ", ".join(
+        "*" if p is Dist.STAR else p.value for p in pattern
+    ) + ")"
+
+
+def grid_shape(pattern: Sequence[Dist], nprocs: int) -> tuple[int, ...]:
+    """Choose a processor-grid shape matching the pattern.
+
+    Distributed dimensions share the processors as evenly as possible
+    (most-square grid, earlier dimensions get the larger factors, as HPF
+    compilers conventionally do); STAR dimensions get grid extent 1.
+    """
+    if nprocs < 1:
+        raise DistributionError("need at least one processor")
+    distributed = [i for i, p in enumerate(pattern) if p is not Dist.STAR]
+    shape = [1] * len(pattern)
+    if not distributed:
+        if nprocs != 1:
+            raise DistributionError(
+                "a fully-replicated (*, *, ...) pattern admits only 1 processor"
+            )
+        return tuple(shape)
+    if len(distributed) == 1:
+        shape[distributed[0]] = nprocs
+        return tuple(shape)
+    # Factor nprocs as evenly as possible across the distributed dims.
+    remaining = nprocs
+    dims_left = len(distributed)
+    for position, dim in enumerate(distributed):
+        target = round(remaining ** (1.0 / dims_left))
+        # find a divisor of `remaining` closest to target (>=1)
+        best = 1
+        for candidate in range(1, remaining + 1):
+            if remaining % candidate == 0 and abs(candidate - target) < abs(best - target):
+                best = candidate
+        shape[dim] = best
+        remaining //= best
+        dims_left -= 1
+    shape[distributed[-1]] *= remaining if remaining > 1 else 1
+    if math.prod(shape) != nprocs:
+        raise DistributionError(
+            f"cannot factor {nprocs} processors over pattern {pattern_str(pattern)}"
+        )
+    return tuple(shape)
+
+
+def _block_bounds(n: int, parts: int, index: int) -> tuple[int, int]:
+    """HPF BLOCK rule: block size ceil(n/parts); trailing ranks may be empty."""
+    size = ceil_div(n, parts)
+    start = min(index * size, n)
+    stop = min(start + size, n)
+    return start, stop
+
+
+def decompose(
+    shape: Sequence[int],
+    pattern: str | Sequence[Dist | str],
+    nprocs: int,
+    pgrid: Sequence[int] | None = None,
+) -> list[Region]:
+    """Owned region per rank for BLOCK/STAR patterns.
+
+    Ranks are row-major over the processor grid.  CYCLIC dims are not
+    representable as one box — use :func:`owned_regions` for those.
+    """
+    symbols = parse_pattern(pattern)
+    if len(symbols) != len(shape):
+        raise DistributionError(
+            f"pattern rank {len(symbols)} != array rank {len(shape)}"
+        )
+    if any(s is Dist.CYCLIC for s in symbols):
+        raise DistributionError(
+            "decompose() handles BLOCK/* only; use owned_regions() for CYCLIC"
+        )
+    grid = tuple(pgrid) if pgrid is not None else grid_shape(symbols, nprocs)
+    if len(grid) != len(shape):
+        raise DistributionError("processor grid rank mismatch")
+    if math.prod(grid) != nprocs:
+        raise DistributionError(
+            f"processor grid {grid} does not hold {nprocs} processors"
+        )
+    for dim, (symbol, g) in enumerate(zip(symbols, grid)):
+        if symbol is Dist.STAR and g != 1:
+            raise DistributionError(
+                f"dimension {dim} is '*' but grid extent is {g}"
+            )
+
+    regions: list[Region] = []
+    for rank in range(nprocs):
+        coords = []
+        rest = rank
+        for g in reversed(grid):
+            coords.append(rest % g)
+            rest //= g
+        coords.reverse()
+        starts = []
+        stops = []
+        for n, symbol, g, c in zip(shape, symbols, grid, coords):
+            if symbol is Dist.STAR:
+                starts.append(0)
+                stops.append(n)
+            else:
+                a, b = _block_bounds(n, g, c)
+                starts.append(a)
+                stops.append(b)
+        regions.append(Region(tuple(starts), tuple(stops)))
+    return regions
+
+
+def owned_regions(
+    shape: Sequence[int],
+    pattern: str | Sequence[Dist | str],
+    nprocs: int,
+    rank: int,
+    pgrid: Sequence[int] | None = None,
+) -> list[Region]:
+    """All regions owned by ``rank`` — handles CYCLIC by emitting one
+    region per owned index along each cyclic dimension."""
+    symbols = parse_pattern(pattern)
+    if len(symbols) != len(shape):
+        raise DistributionError("pattern rank mismatch")
+    if not 0 <= rank < nprocs:
+        raise DistributionError(f"rank {rank} outside [0, {nprocs})")
+    grid = tuple(pgrid) if pgrid is not None else grid_shape(symbols, nprocs)
+    if math.prod(grid) != nprocs:
+        raise DistributionError("processor grid does not hold nprocs")
+
+    coords = []
+    rest = rank
+    for g in reversed(grid):
+        coords.append(rest % g)
+        rest //= g
+    coords.reverse()
+
+    # Per dimension: list of (start, stop) runs owned by this rank.
+    per_dim: list[list[tuple[int, int]]] = []
+    for n, symbol, g, c in zip(shape, symbols, grid, coords):
+        if symbol is Dist.STAR:
+            per_dim.append([(0, n)])
+        elif symbol is Dist.BLOCK:
+            per_dim.append([_block_bounds(n, g, c)])
+        else:  # CYCLIC
+            per_dim.append([(i, i + 1) for i in range(c, n, g)])
+
+    if any(not runs for runs in per_dim):
+        return []  # a cyclic dim with fewer indices than processors
+
+    regions: list[Region] = []
+    odometer = [0] * len(per_dim)
+    while True:
+        starts = tuple(per_dim[d][odometer[d]][0] for d in range(len(per_dim)))
+        stops = tuple(per_dim[d][odometer[d]][1] for d in range(len(per_dim)))
+        region = Region(starts, stops)
+        if not region.empty:
+            regions.append(region)
+        for d in range(len(per_dim) - 1, -1, -1):
+            odometer[d] += 1
+            if odometer[d] < len(per_dim[d]):
+                break
+            odometer[d] = 0
+        else:
+            return regions

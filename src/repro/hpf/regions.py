@@ -1,0 +1,143 @@
+"""N-dimensional rectangular region algebra.
+
+A :class:`Region` is a half-open box ``[starts, stops)`` over an integer
+lattice — the shape every HPF BLOCK/\\* decomposition hands out, and the
+shape the multidimensional striping method reasons about when deciding
+which bricks a request touches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+
+from ..errors import DistributionError
+
+__all__ = ["Region"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """Half-open N-d box: cell ``c`` is inside iff starts <= c < stops."""
+
+    starts: tuple[int, ...]
+    stops: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.starts) != len(self.stops):
+            raise DistributionError("starts/stops rank mismatch")
+        if not self.starts:
+            raise DistributionError("region rank must be >= 1")
+        for start, stop in zip(self.starts, self.stops):
+            if start < 0 or stop < start:
+                raise DistributionError(
+                    f"invalid region bounds [{start}, {stop})"
+                )
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def of(cls, *bounds: tuple[int, int]) -> "Region":
+        """``Region.of((r0, r1), (c0, c1))`` convenience constructor."""
+        return cls(tuple(b[0] for b in bounds), tuple(b[1] for b in bounds))
+
+    @classmethod
+    def full(cls, shape: Sequence[int]) -> "Region":
+        """The whole array of the given shape."""
+        return cls(tuple(0 for _ in shape), tuple(shape))
+
+    # -- basic properties ---------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return len(self.starts)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(b - a for a, b in zip(self.starts, self.stops))
+
+    @property
+    def volume(self) -> int:
+        """Number of lattice cells inside."""
+        return math.prod(self.shape)
+
+    @property
+    def empty(self) -> bool:
+        return any(a >= b for a, b in zip(self.starts, self.stops))
+
+    # -- algebra -----------------------------------------------------------
+    def intersect(self, other: "Region") -> "Region | None":
+        """Intersection box, or ``None`` when disjoint/empty."""
+        if self.rank != other.rank:
+            raise DistributionError("rank mismatch in intersect")
+        starts = tuple(max(a, b) for a, b in zip(self.starts, other.starts))
+        stops = tuple(min(a, b) for a, b in zip(self.stops, other.stops))
+        if any(a >= b for a, b in zip(starts, stops)):
+            return None
+        return Region(starts, stops)
+
+    def contains(self, coords: Sequence[int]) -> bool:
+        if len(coords) != self.rank:
+            raise DistributionError("rank mismatch in contains")
+        return all(a <= c < b for c, a, b in zip(coords, self.starts, self.stops))
+
+    def covers(self, other: "Region") -> bool:
+        """True when ``other`` lies entirely inside this region."""
+        if self.rank != other.rank:
+            raise DistributionError("rank mismatch in covers")
+        if other.empty:
+            return True
+        return all(
+            sa <= oa and ob <= sb
+            for sa, sb, oa, ob in zip(self.starts, self.stops, other.starts, other.stops)
+        )
+
+    def translate(self, offsets: Sequence[int]) -> "Region":
+        """Shift the region by per-dimension offsets."""
+        if len(offsets) != self.rank:
+            raise DistributionError("rank mismatch in translate")
+        return Region(
+            tuple(a + d for a, d in zip(self.starts, offsets)),
+            tuple(b + d for b, d in zip(self.stops, offsets)),
+        )
+
+    def relative_to(self, origin: Sequence[int]) -> "Region":
+        """Re-express in coordinates local to ``origin``."""
+        return self.translate([-o for o in origin])
+
+    # -- iteration -----------------------------------------------------------
+    def cells(self) -> Iterator[tuple[int, ...]]:
+        """Iterate all lattice cells in row-major order (small regions!)."""
+        if self.empty:
+            return
+        coords = list(self.starts)
+        while True:
+            yield tuple(coords)
+            for d in range(self.rank - 1, -1, -1):
+                coords[d] += 1
+                if coords[d] < self.stops[d]:
+                    break
+                coords[d] = self.starts[d]
+            else:
+                return
+
+    def rows(self) -> Iterator[tuple[tuple[int, ...], int]]:
+        """Iterate contiguous innermost-dimension runs.
+
+        Yields ``(start_coords, run_length)`` — the natural unit for
+        converting a region to byte extents of a row-major array.
+        """
+        if self.empty:
+            return
+        run = self.stops[-1] - self.starts[-1]
+        if self.rank == 1:
+            yield (self.starts, run)
+            return
+        outer = Region(self.starts[:-1], self.stops[:-1])
+        for coords in outer.cells():
+            yield (coords + (self.starts[-1],), run)
+
+    def __repr__(self) -> str:
+        bounds = ", ".join(
+            f"[{a},{b})" for a, b in zip(self.starts, self.stops)
+        )
+        return f"Region({bounds})"

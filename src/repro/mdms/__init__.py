@@ -1,0 +1,5 @@
+"""MDMS-style dataset catalog over DPFS (§10 future work, §9 ref [18])."""
+
+from .catalog import Catalog, Dataset, Run
+
+__all__ = ["Catalog", "Dataset", "Run"]

@@ -1,0 +1,28 @@
+"""Embedded relational database for DPFS metadata (replaces POSTGRES, §5).
+
+A from-scratch SQL subset engine: tokenizer → parser → executor, with
+typed tables, unique hash indexes, ACID-ish transactions (undo journal +
+write-ahead redo log) and atomic snapshots.
+
+    from repro.metadb import Database
+
+    db = Database()                     # in-memory
+    db = Database("/data/dpfs.meta")    # durable (snapshot + WAL)
+"""
+
+from .engine import Database, ResultSet
+from .parser import parse, parse_expression
+from .table import Column, Table
+from .tokenizer import Token, TokenType, tokenize
+
+__all__ = [
+    "Database",
+    "ResultSet",
+    "parse",
+    "parse_expression",
+    "tokenize",
+    "Token",
+    "TokenType",
+    "Column",
+    "Table",
+]

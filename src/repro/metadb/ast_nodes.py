@@ -1,0 +1,210 @@
+"""AST node definitions for the embedded SQL engine.
+
+Two families: *expressions* (evaluate to a value given a row binding)
+and *statements* (executed by :class:`repro.metadb.engine.Database`).
+All nodes are frozen dataclasses so plans can be hashed/cached safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    # expressions
+    "Expr",
+    "Literal",
+    "ColumnRef",
+    "Param",
+    "Unary",
+    "Binary",
+    "InList",
+    "IsNull",
+    "Like",
+    "FuncCall",
+    # statements
+    "Statement",
+    "ColumnDef",
+    "CreateTable",
+    "DropTable",
+    "CreateIndex",
+    "DropIndex",
+    "Insert",
+    "Select",
+    "OrderItem",
+    "Update",
+    "Delete",
+    "Begin",
+    "Commit",
+    "Rollback",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any  # str, int, float or None
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A positional ``?`` parameter; ``index`` is its 0-based position."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str           # 'NOT' or '-'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str           # '=' '!=' '<' '<=' '>' '>=' 'AND' 'OR' '+' '-' '*' '/' '||'
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """COUNT(*) / COUNT(expr) — the only aggregate the metadata layer needs."""
+
+    name: str
+    argument: Expr | None  # None means '*'
+    distinct: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Statement:
+    """Marker base class for statement nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str                # INTEGER | REAL | TEXT | JSON
+    primary_key: bool = False
+    not_null: bool = False
+    unique: bool = False
+    default: Any = None
+    has_default: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    table: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    name: str
+    table: str
+    column: str
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropIndex(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: tuple[str, ...] | None   # None = all columns in schema order
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    table: str
+    columns: tuple[tuple[Expr, str | None], ...] | None  # None = '*'; else (expr, alias)
+    where: Expr | None = None
+    order_by: tuple[OrderItem, ...] = field(default=())
+    limit: int | None = None
+    distinct: bool = False
+    group_by: tuple[Expr, ...] = field(default=())
+    having: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Begin(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class Commit(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class Rollback(Statement):
+    pass

@@ -1,0 +1,214 @@
+"""Expression evaluation with SQL three-valued-ish semantics.
+
+``evaluate(expr, row, params)`` computes the value of an expression AST
+node against a row (a ``dict`` column → value) and positional parameter
+list.  NULL propagates through comparisons and arithmetic (any operand
+NULL → result NULL), and ``truthy`` treats NULL as false, which matches
+how WHERE clauses behave in real SQL engines.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Any, Mapping, Sequence
+
+from ..errors import MetaDBError, SchemaError
+from .ast_nodes import (
+    Binary,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Param,
+    Unary,
+)
+
+__all__ = ["evaluate", "truthy", "expr_columns", "expr_name"]
+
+
+def truthy(value: Any) -> bool:
+    """SQL WHERE semantics: NULL and 0 are not matches."""
+    if value is None:
+        return False
+    return bool(value)
+
+
+@lru_cache(maxsize=256)
+def _like_regex(pattern: str) -> re.Pattern[str]:
+    """Translate a SQL LIKE pattern (% and _) into a compiled regex."""
+    out: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise MetaDBError("division by zero")
+            result = left / right
+            # Integer division stays integral when exact, like most engines'
+            # numeric affinity would give for INTEGER columns.
+            if isinstance(left, int) and isinstance(right, int) and result == int(result):
+                return int(result)
+            return result
+    except TypeError as exc:
+        raise MetaDBError(f"type error in {op!r}: {exc}") from exc
+    raise MetaDBError(f"unknown arithmetic operator {op!r}")
+
+
+def _compare(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+    except TypeError as exc:
+        raise MetaDBError(f"uncomparable values in {op!r}: {exc}") from exc
+    raise MetaDBError(f"unknown comparison operator {op!r}")
+
+
+def evaluate(
+    expr: Expr,
+    row: Mapping[str, Any],
+    params: Sequence[Any] = (),
+) -> Any:
+    """Evaluate ``expr`` against ``row`` with positional ``params``."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        if expr.name not in row:
+            raise SchemaError(f"unknown column {expr.name!r}")
+        return row[expr.name]
+    if isinstance(expr, Param):
+        if expr.index >= len(params):
+            raise MetaDBError(
+                f"statement needs at least {expr.index + 1} parameters, "
+                f"got {len(params)}"
+            )
+        return params[expr.index]
+    if isinstance(expr, Unary):
+        value = evaluate(expr.operand, row, params)
+        if expr.op == "NOT":
+            if value is None:
+                return None
+            return int(not truthy(value))
+        if expr.op == "-":
+            return None if value is None else -value
+        raise MetaDBError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Binary):
+        if expr.op == "AND":
+            left = evaluate(expr.left, row, params)
+            if left is not None and not truthy(left):
+                return 0
+            right = evaluate(expr.right, row, params)
+            if right is not None and not truthy(right):
+                return 0
+            if left is None or right is None:
+                return None
+            return 1
+        if expr.op == "OR":
+            left = evaluate(expr.left, row, params)
+            if left is not None and truthy(left):
+                return 1
+            right = evaluate(expr.right, row, params)
+            if right is not None and truthy(right):
+                return 1
+            if left is None or right is None:
+                return None
+            return 0
+        left = evaluate(expr.left, row, params)
+        right = evaluate(expr.right, row, params)
+        if expr.op == "||":
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+        if expr.op in ("=", "!=", "<", "<=", ">", ">="):
+            return _compare(expr.op, left, right)
+        return _arith(expr.op, left, right)
+    if isinstance(expr, InList):
+        value = evaluate(expr.operand, row, params)
+        if value is None:
+            return None
+        found = any(
+            evaluate(item, row, params) == value for item in expr.items
+        )
+        return int(found != expr.negated)
+    if isinstance(expr, IsNull):
+        value = evaluate(expr.operand, row, params)
+        return int((value is None) != expr.negated)
+    if isinstance(expr, Like):
+        value = evaluate(expr.operand, row, params)
+        pattern = evaluate(expr.pattern, row, params)
+        if value is None or pattern is None:
+            return None
+        matched = _like_regex(str(pattern)).match(str(value)) is not None
+        return int(matched != expr.negated)
+    if isinstance(expr, FuncCall):
+        raise MetaDBError(
+            f"aggregate {expr.name} not allowed here (only in SELECT lists)"
+        )
+    raise MetaDBError(f"unknown expression node {type(expr).__name__}")
+
+
+def expr_columns(expr: Expr) -> set[str]:
+    """All column names referenced by ``expr`` (for validation/planning)."""
+    cols: set[str] = set()
+    stack: list[Expr] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ColumnRef):
+            cols.add(node.name)
+        elif isinstance(node, Unary):
+            stack.append(node.operand)
+        elif isinstance(node, Binary):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, InList):
+            stack.append(node.operand)
+            stack.extend(node.items)
+        elif isinstance(node, (IsNull, Like)):
+            stack.append(node.operand)
+            if isinstance(node, Like):
+                stack.append(node.pattern)
+        elif isinstance(node, FuncCall) and node.argument is not None:
+            stack.append(node.argument)
+    return cols
+
+
+def expr_name(expr: Expr) -> str:
+    """Derive a result-column name for an un-aliased SELECT item."""
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, FuncCall):
+        return f"{expr.name.lower()}"
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    return "expr"

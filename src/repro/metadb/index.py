@@ -1,0 +1,54 @@
+"""Hash index mapping column values to row ids.
+
+Used for UNIQUE/PRIMARY KEY enforcement and as an access path for
+equality predicates (``WHERE pk = ?``) — the dominant query shape in the
+DPFS metadata workload (lookup by file name / server name).
+
+Values that are unhashable (JSON lists) are indexed by their canonical
+JSON encoding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["HashIndex"]
+
+
+def _key(value: Any) -> Any:
+    """Hashable proxy for an arbitrary column value."""
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True)
+    return value
+
+
+class HashIndex:
+    """value -> set of rowids (NULLs are not indexed, as in SQL)."""
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._map: dict[Any, set[int]] = {}
+
+    def add(self, value: Any, rowid: int) -> None:
+        if value is None:
+            return
+        self._map.setdefault(_key(value), set()).add(rowid)
+
+    def remove(self, value: Any, rowid: int) -> None:
+        if value is None:
+            return
+        key = _key(value)
+        bucket = self._map.get(key)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._map[key]
+
+    def lookup(self, value: Any) -> set[int]:
+        if value is None:
+            return set()
+        return set(self._map.get(_key(value), ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._map.values())

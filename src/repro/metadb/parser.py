@@ -1,0 +1,480 @@
+"""Recursive-descent parser: token stream → statement AST.
+
+Grammar (informal)::
+
+    statement  := create | drop | insert | select | update | delete
+                | BEGIN | COMMIT | ROLLBACK
+    create     := CREATE TABLE [IF NOT EXISTS] name '(' coldef (',' coldef)* ')'
+    coldef     := name type [PRIMARY KEY] [NOT NULL] [UNIQUE] [DEFAULT literal]
+    insert     := INSERT INTO name ['(' names ')'] VALUES tuple (',' tuple)*
+    select     := SELECT [DISTINCT] ('*' | item (',' item)*) FROM name
+                  [WHERE expr] [ORDER BY order (',' order)*] [LIMIT n]
+    update     := UPDATE name SET name '=' expr (',' ...)* [WHERE expr]
+    delete     := DELETE FROM name [WHERE expr]
+
+Expression precedence (loosest first): OR, AND, NOT, comparison
+(= != < <= > >= IN IS LIKE), additive (+ - ||), multiplicative (* /),
+unary minus, atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SQLSyntaxError
+from .ast_nodes import (
+    Begin,
+    CreateIndex,
+    DropIndex,
+    Binary,
+    ColumnDef,
+    ColumnRef,
+    Commit,
+    CreateTable,
+    Delete,
+    DropTable,
+    Expr,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    Param,
+    Rollback,
+    Select,
+    Statement,
+    Unary,
+    Update,
+)
+from .tokenizer import Token, TokenType, tokenize
+
+__all__ = ["parse", "parse_expression"]
+
+_TYPE_NAMES = {"INTEGER", "REAL", "TEXT", "JSON"}
+_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.param_count = 0
+
+    # -- token helpers ----------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.type is not TokenType.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, ttype: TokenType, value: str | None = None) -> bool:
+        return self.peek().matches(ttype, value)
+
+    def accept(self, ttype: TokenType, value: str | None = None) -> Token | None:
+        if self.check(ttype, value):
+            return self.advance()
+        return None
+
+    def expect(self, ttype: TokenType, value: str | None = None) -> Token:
+        tok = self.peek()
+        if not tok.matches(ttype, value):
+            want = value or ttype.name
+            raise SQLSyntaxError(
+                f"expected {want} at position {tok.pos}, got {tok.value!r}"
+            )
+        return self.advance()
+
+    def keyword(self, *words: str) -> bool:
+        """Accept any of the given keywords; True if one was consumed."""
+        tok = self.peek()
+        if tok.type is TokenType.KEYWORD and tok.value in words:
+            self.advance()
+            return True
+        return False
+
+    def identifier(self) -> str:
+        tok = self.peek()
+        # Allow non-reserved keywords to double as identifiers where
+        # unambiguous (e.g. a column literally named "key" won't happen in
+        # DPFS but costs nothing to forbid — keep it strict instead).
+        if tok.type is TokenType.IDENTIFIER:
+            self.advance()
+            return tok.value
+        raise SQLSyntaxError(f"expected identifier at position {tok.pos}, got {tok.value!r}")
+
+    # -- statements ---------------------------------------------------------
+    def statement(self) -> Statement:
+        tok = self.peek()
+        if tok.type is not TokenType.KEYWORD:
+            raise SQLSyntaxError(f"expected statement keyword, got {tok.value!r}")
+        handler = {
+            "CREATE": self._create,
+            "DROP": self._drop,
+            "INSERT": self._insert,
+            "SELECT": self._select,
+            "UPDATE": self._update,
+            "DELETE": self._delete,
+            "BEGIN": self._begin,
+            "COMMIT": self._commit,
+            "ROLLBACK": self._rollback,
+        }.get(tok.value)
+        if handler is None:
+            raise SQLSyntaxError(f"unsupported statement {tok.value!r}")
+        stmt = handler()
+        self.accept(TokenType.PUNCT, ";")
+        tail = self.peek()
+        if tail.type is not TokenType.EOF:
+            raise SQLSyntaxError(
+                f"trailing input at position {tail.pos}: {tail.value!r}"
+            )
+        return stmt
+
+    def _begin(self) -> Begin:
+        self.expect(TokenType.KEYWORD, "BEGIN")
+        return Begin()
+
+    def _commit(self) -> Commit:
+        self.expect(TokenType.KEYWORD, "COMMIT")
+        return Commit()
+
+    def _rollback(self) -> Rollback:
+        self.expect(TokenType.KEYWORD, "ROLLBACK")
+        return Rollback()
+
+    def _create(self):
+        self.expect(TokenType.KEYWORD, "CREATE")
+        if self.keyword("INDEX"):
+            return self._create_index()
+        self.expect(TokenType.KEYWORD, "TABLE")
+        if_not_exists = False
+        if self.keyword("IF"):
+            self.expect(TokenType.KEYWORD, "NOT")
+            self.expect(TokenType.KEYWORD, "EXISTS")
+            if_not_exists = True
+        table = self.identifier()
+        self.expect(TokenType.PUNCT, "(")
+        columns = [self._column_def()]
+        while self.accept(TokenType.PUNCT, ","):
+            columns.append(self._column_def())
+        self.expect(TokenType.PUNCT, ")")
+        return CreateTable(table, tuple(columns), if_not_exists)
+
+    def _column_def(self) -> ColumnDef:
+        name = self.identifier()
+        type_tok = self.peek()
+        if type_tok.type is TokenType.KEYWORD and type_tok.value in _TYPE_NAMES:
+            self.advance()
+            type_name = type_tok.value
+        else:
+            raise SQLSyntaxError(
+                f"expected column type at position {type_tok.pos}, got {type_tok.value!r}"
+            )
+        primary_key = not_null = unique = has_default = False
+        default: Any = None
+        while True:
+            if self.keyword("PRIMARY"):
+                self.expect(TokenType.KEYWORD, "KEY")
+                primary_key = True
+            elif self.keyword("NOT"):
+                self.expect(TokenType.KEYWORD, "NULL")
+                not_null = True
+            elif self.keyword("UNIQUE"):
+                unique = True
+            elif self.keyword("DEFAULT"):
+                default = self._literal_value()
+                has_default = True
+            else:
+                break
+        return ColumnDef(name, type_name, primary_key, not_null, unique, default, has_default)
+
+    def _literal_value(self) -> Any:
+        tok = self.peek()
+        if tok.type is TokenType.STRING:
+            self.advance()
+            return tok.value
+        if tok.type is TokenType.NUMBER:
+            self.advance()
+            return _number(tok.value)
+        if tok.matches(TokenType.KEYWORD, "NULL"):
+            self.advance()
+            return None
+        if tok.matches(TokenType.OPERATOR, "-"):
+            self.advance()
+            num = self.expect(TokenType.NUMBER)
+            return -_number(num.value)
+        raise SQLSyntaxError(f"expected literal at position {tok.pos}")
+
+    def _create_index(self) -> CreateIndex:
+        if_not_exists = False
+        if self.keyword("IF"):
+            self.expect(TokenType.KEYWORD, "NOT")
+            self.expect(TokenType.KEYWORD, "EXISTS")
+            if_not_exists = True
+        name = self.identifier()
+        self.expect(TokenType.KEYWORD, "ON")
+        table = self.identifier()
+        self.expect(TokenType.PUNCT, "(")
+        column = self.identifier()
+        self.expect(TokenType.PUNCT, ")")
+        return CreateIndex(name, table, column, if_not_exists)
+
+    def _drop(self):
+        self.expect(TokenType.KEYWORD, "DROP")
+        if self.keyword("INDEX"):
+            if_exists = False
+            if self.keyword("IF"):
+                self.expect(TokenType.KEYWORD, "EXISTS")
+                if_exists = True
+            return DropIndex(self.identifier(), if_exists)
+        self.expect(TokenType.KEYWORD, "TABLE")
+        if_exists = False
+        if self.keyword("IF"):
+            self.expect(TokenType.KEYWORD, "EXISTS")
+            if_exists = True
+        return DropTable(self.identifier(), if_exists)
+
+    def _insert(self) -> Insert:
+        self.expect(TokenType.KEYWORD, "INSERT")
+        self.expect(TokenType.KEYWORD, "INTO")
+        table = self.identifier()
+        columns: tuple[str, ...] | None = None
+        if self.accept(TokenType.PUNCT, "("):
+            names = [self.identifier()]
+            while self.accept(TokenType.PUNCT, ","):
+                names.append(self.identifier())
+            self.expect(TokenType.PUNCT, ")")
+            columns = tuple(names)
+        self.expect(TokenType.KEYWORD, "VALUES")
+        rows = [self._value_tuple()]
+        while self.accept(TokenType.PUNCT, ","):
+            rows.append(self._value_tuple())
+        return Insert(table, columns, tuple(rows))
+
+    def _value_tuple(self) -> tuple[Expr, ...]:
+        self.expect(TokenType.PUNCT, "(")
+        values = [self.expression()]
+        while self.accept(TokenType.PUNCT, ","):
+            values.append(self.expression())
+        self.expect(TokenType.PUNCT, ")")
+        return tuple(values)
+
+    def _select(self) -> Select:
+        self.expect(TokenType.KEYWORD, "SELECT")
+        distinct = self.keyword("DISTINCT")
+        columns: tuple[tuple[Expr, str | None], ...] | None
+        if self.accept(TokenType.OPERATOR, "*"):
+            columns = None
+        else:
+            items = [self._select_item()]
+            while self.accept(TokenType.PUNCT, ","):
+                items.append(self._select_item())
+            columns = tuple(items)
+        self.expect(TokenType.KEYWORD, "FROM")
+        table = self.identifier()
+        where = self.expression() if self.keyword("WHERE") else None
+        group_by: list[Expr] = []
+        having: Expr | None = None
+        if self.keyword("GROUP"):
+            self.expect(TokenType.KEYWORD, "BY")
+            group_by.append(self.expression())
+            while self.accept(TokenType.PUNCT, ","):
+                group_by.append(self.expression())
+            if self.keyword("HAVING"):
+                having = self.expression()
+        order_by: list[OrderItem] = []
+        if self.keyword("ORDER"):
+            self.expect(TokenType.KEYWORD, "BY")
+            order_by.append(self._order_item())
+            while self.accept(TokenType.PUNCT, ","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.keyword("LIMIT"):
+            tok = self.expect(TokenType.NUMBER)
+            limit = int(tok.value)
+        return Select(
+            table, columns, where, tuple(order_by), limit, distinct,
+            tuple(group_by), having,
+        )
+
+    def _select_item(self) -> tuple[Expr, str | None]:
+        expr = self.expression()
+        alias = None
+        if self.keyword("AS"):
+            alias = self.identifier()
+        return (expr, alias)
+
+    def _order_item(self) -> OrderItem:
+        expr = self.expression()
+        descending = False
+        if self.keyword("DESC"):
+            descending = True
+        else:
+            self.keyword("ASC")
+        return OrderItem(expr, descending)
+
+    def _update(self) -> Update:
+        self.expect(TokenType.KEYWORD, "UPDATE")
+        table = self.identifier()
+        self.expect(TokenType.KEYWORD, "SET")
+        assignments = [self._assignment()]
+        while self.accept(TokenType.PUNCT, ","):
+            assignments.append(self._assignment())
+        where = self.expression() if self.keyword("WHERE") else None
+        return Update(table, tuple(assignments), where)
+
+    def _assignment(self) -> tuple[str, Expr]:
+        name = self.identifier()
+        self.expect(TokenType.OPERATOR, "=")
+        return (name, self.expression())
+
+    def _delete(self) -> Delete:
+        self.expect(TokenType.KEYWORD, "DELETE")
+        self.expect(TokenType.KEYWORD, "FROM")
+        table = self.identifier()
+        where = self.expression() if self.keyword("WHERE") else None
+        return Delete(table, where)
+
+    # -- expressions ----------------------------------------------------------
+    def expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self.keyword("OR"):
+            left = Binary("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self.keyword("AND"):
+            left = Binary("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self.keyword("NOT"):
+            return Unary("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        tok = self.peek()
+        if tok.type is TokenType.OPERATOR and tok.value in _COMPARISONS:
+            self.advance()
+            return Binary(tok.value, left, self._additive())
+        if tok.matches(TokenType.KEYWORD, "IS"):
+            self.advance()
+            negated = self.keyword("NOT")
+            self.expect(TokenType.KEYWORD, "NULL")
+            return IsNull(left, negated)
+        negated = False
+        if tok.matches(TokenType.KEYWORD, "NOT"):
+            # NOT IN / NOT LIKE
+            nxt = self.tokens[self.pos + 1]
+            if nxt.type is TokenType.KEYWORD and nxt.value in ("IN", "LIKE"):
+                self.advance()
+                negated = True
+                tok = self.peek()
+        if tok.matches(TokenType.KEYWORD, "IN"):
+            self.advance()
+            self.expect(TokenType.PUNCT, "(")
+            items = [self.expression()]
+            while self.accept(TokenType.PUNCT, ","):
+                items.append(self.expression())
+            self.expect(TokenType.PUNCT, ")")
+            return InList(left, tuple(items), negated)
+        if tok.matches(TokenType.KEYWORD, "LIKE"):
+            self.advance()
+            return Like(left, self._additive(), negated)
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            tok = self.peek()
+            if tok.type is TokenType.OPERATOR and tok.value in ("+", "-", "||"):
+                self.advance()
+                left = Binary(tok.value, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            tok = self.peek()
+            if tok.type is TokenType.OPERATOR and tok.value in ("*", "/"):
+                self.advance()
+                left = Binary(tok.value, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self.accept(TokenType.OPERATOR, "-"):
+            return Unary("-", self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        tok = self.peek()
+        if tok.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(_number(tok.value))
+        if tok.type is TokenType.STRING:
+            self.advance()
+            return Literal(tok.value)
+        if tok.type is TokenType.PARAM:
+            self.advance()
+            param = Param(self.param_count)
+            self.param_count += 1
+            return param
+        if tok.matches(TokenType.KEYWORD, "NULL"):
+            self.advance()
+            return Literal(None)
+        if tok.type is TokenType.KEYWORD and tok.value in (
+            "COUNT", "SUM", "MIN", "MAX", "AVG"
+        ):
+            self.advance()
+            self.expect(TokenType.PUNCT, "(")
+            distinct = self.keyword("DISTINCT")
+            if self.accept(TokenType.OPERATOR, "*"):
+                if tok.value != "COUNT":
+                    raise SQLSyntaxError(f"{tok.value}(*) is not valid")
+                arg: Expr | None = None
+            else:
+                arg = self.expression()
+            self.expect(TokenType.PUNCT, ")")
+            return FuncCall(tok.value, arg, distinct)
+        if tok.type is TokenType.IDENTIFIER:
+            self.advance()
+            return ColumnRef(tok.value)
+        if self.accept(TokenType.PUNCT, "("):
+            inner = self.expression()
+            self.expect(TokenType.PUNCT, ")")
+            return inner
+        raise SQLSyntaxError(
+            f"unexpected token {tok.value!r} at position {tok.pos}"
+        )
+
+
+def _number(text: str) -> int | float:
+    if any(c in text for c in ".eE"):
+        return float(text)
+    return int(text)
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement into its AST."""
+    return _Parser(tokenize(sql)).statement()
+
+
+def parse_expression(sql: str) -> Expr:
+    """Parse a standalone expression (used by tests)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.expression()
+    tok = parser.peek()
+    if tok.type is not TokenType.EOF:
+        raise SQLSyntaxError(f"trailing input at position {tok.pos}")
+    return expr

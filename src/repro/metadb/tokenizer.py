@@ -1,0 +1,163 @@
+"""SQL tokenizer for the embedded metadata database.
+
+Splits SQL text into a stream of :class:`Token` objects.  The dialect is
+the small subset DPFS needs (§5 of the paper): CREATE TABLE / DROP TABLE
+/ INSERT / SELECT / UPDATE / DELETE / BEGIN / COMMIT / ROLLBACK, with
+``?`` positional parameters, quoted string literals, numeric literals
+and the usual comparison / boolean operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from ..errors import SQLSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(Enum):
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    STRING = auto()
+    NUMBER = auto()
+    PARAM = auto()        # ?
+    OPERATOR = auto()     # = != < <= > >= + - * / ||
+    PUNCT = auto()        # ( ) , . ;
+    EOF = auto()
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE",
+        "SET", "DELETE", "CREATE", "DROP", "TABLE", "IF", "EXISTS",
+        "PRIMARY", "KEY", "NOT", "NULL", "AND", "OR", "IN", "IS", "LIKE",
+        "ORDER", "BY", "ASC", "DESC", "LIMIT", "BEGIN", "COMMIT",
+        "ROLLBACK", "INTEGER", "REAL", "TEXT", "JSON", "UNIQUE",
+        "DEFAULT", "COUNT", "DISTINCT", "AS", "GROUP", "SUM", "MIN",
+        "MAX", "AVG", "HAVING", "INDEX", "ON",
+    }
+)
+
+_SIMPLE_OPERATORS = {"=", "<", ">", "+", "-", "*", "/"}
+_COMPOUND_OPERATORS = {"!=", "<>", "<=", ">=", "||"}
+_PUNCT = {"(", ")", ",", ".", ";"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    pos: int
+
+    def matches(self, ttype: TokenType, value: str | None = None) -> bool:
+        if self.type is not ttype:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # -- comments ----------------------------------------------------
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        # -- string literal ('...' with '' escaping) ----------------------
+        if ch == "'":
+            j = i + 1
+            buf: list[str] = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError(f"unterminated string literal at {i}")
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(sql[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        # -- quoted identifier ("...") ------------------------------------
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j == -1:
+                raise SQLSyntaxError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token(TokenType.IDENTIFIER, sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        # -- number -------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and sql[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        # -- parameter ------------------------------------------------------
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAM, "?", i))
+            i += 1
+            continue
+        # -- operators ------------------------------------------------------
+        two = sql[i : i + 2]
+        if two in _COMPOUND_OPERATORS:
+            canonical = "!=" if two == "<>" else two
+            tokens.append(Token(TokenType.OPERATOR, canonical, i))
+            i += 2
+            continue
+        if ch in _SIMPLE_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, ch, i))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        # -- identifier / keyword -------------------------------------------
+        if ch.isalpha() or ch == "_":
+            # The paper's hyphenated table names (DPFS-SERVER...) are spelled
+            # with underscores here (dpfs_server) since '-' is the minus
+            # operator in SQL.
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            i = j
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,92 @@
+"""Write-ahead log for the embedded database.
+
+Every *committed* transaction is appended to the log as one JSON line::
+
+    {"txn": 17, "ops": [["insert", "dpfs_file_attr", 3, {...}], ...]}
+
+On open, the engine loads the last snapshot and replays the WAL; a torn
+final line (crash mid-append) is detected and discarded.  ``checkpoint``
+rewrites the snapshot and truncates the log.
+
+Redo records are physical: (op, table, rowid, payload), so replay is a
+mechanical re-application with no SQL re-execution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..errors import MetaDBError
+
+__all__ = ["WriteAheadLog", "RedoOp"]
+
+#: (op, table, rowid, payload) — op in {"insert", "delete", "update",
+#: "create_table", "drop_table"}; payload depends on op.
+RedoOp = tuple[str, str, int, Any]
+
+
+class WriteAheadLog:
+    """Append-only redo log with torn-tail recovery."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self._txn_counter = 0
+
+    # -- writing ------------------------------------------------------------
+    def open_for_append(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append(self, ops: list[RedoOp]) -> int:
+        """Durably append one committed transaction; returns its id."""
+        if self._fh is None:
+            self.open_for_append()
+        assert self._fh is not None
+        self._txn_counter += 1
+        record = {"txn": self._txn_counter, "ops": ops}
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        return self._txn_counter
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- recovery -------------------------------------------------------------
+    def replay(self) -> list[list[RedoOp]]:
+        """Read all complete transactions; drop a torn trailing line."""
+        if not self.path.exists():
+            return []
+        transactions: list[list[RedoOp]] = []
+        raw = self.path.read_text(encoding="utf-8")
+        lines = raw.split("\n")
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1 or all(
+                    not later.strip() for later in lines[lineno + 1 :]
+                ):
+                    # Torn tail from a crash mid-append: discard silently.
+                    break
+                raise MetaDBError(
+                    f"corrupt WAL record at line {lineno + 1} of {self.path}"
+                ) from None
+            ops = [tuple(op) for op in record["ops"]]
+            transactions.append(ops)  # type: ignore[arg-type]
+            self._txn_counter = max(self._txn_counter, int(record["txn"]))
+        return transactions
+
+    def truncate(self) -> None:
+        """Empty the log (after a checkpoint made it redundant)."""
+        self.close()
+        if self.path.exists():
+            self.path.unlink()

@@ -1,0 +1,27 @@
+"""MPI-IO-style interface over DPFS (§10 future work: "use DPFS as a low
+level system to service a high level interface such as MPI-IO").
+
+Features: per-rank file views over derived datatypes, independent I/O
+with data sieving, and two-phase collective I/O — the ROMIO techniques
+of the paper's refs [23] and [25]."""
+
+from .collective import (
+    SieveConfig,
+    sieved_read,
+    sieved_write,
+    two_phase_read,
+    two_phase_write,
+)
+from .file import MPIFile
+from .views import FileView, view_extents
+
+__all__ = [
+    "MPIFile",
+    "FileView",
+    "view_extents",
+    "SieveConfig",
+    "sieved_read",
+    "sieved_write",
+    "two_phase_read",
+    "two_phase_write",
+]

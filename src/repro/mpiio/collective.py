@@ -1,0 +1,224 @@
+"""Two-phase collective I/O and data sieving (Thakur/Gropp/Lusk, the
+paper's refs [23] and [25], implemented over DPFS as its §10 future
+work proposes).
+
+*Data sieving* (independent, non-contiguous): instead of one request
+per hole-separated piece, read the single covering extent and extract
+the pieces in memory — profitable while the useful fraction is above a
+threshold and the covering window fits the sieve buffer.  Sieved writes
+do read-modify-write on the covering window.
+
+*Two-phase collective I/O*: all processes' requests are combined, the
+aggregate byte range is split into one contiguous *file domain* per
+aggregator, data is exchanged so each aggregator holds its domain
+(phase 1, in-memory here), and each aggregator issues one large
+contiguous file access (phase 2).  The win on DPFS is the same as in
+ROMIO: a flurry of interleaved small accesses becomes ``n_aggregators``
+big sequential ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.handle import FileHandle
+from ..errors import DPFSError
+from ..util import Extent, coalesce_extents, total_extent_bytes
+
+__all__ = [
+    "SieveConfig",
+    "sieved_read",
+    "sieved_write",
+    "two_phase_read",
+    "two_phase_write",
+]
+
+
+@dataclass(frozen=True)
+class SieveConfig:
+    """When is sieving worth it?"""
+
+    buffer_bytes: int = 4 * 1024 * 1024   # max covering window
+    min_useful_fraction: float = 0.25     # below this, holes dominate
+
+    def should_sieve(self, extents: list[Extent]) -> bool:
+        if len(extents) < 2:
+            return False
+        lo = min(off for off, _ln in extents)
+        hi = max(off + ln for off, ln in extents)
+        span = hi - lo
+        if span > self.buffer_bytes:
+            return False
+        useful = total_extent_bytes(coalesce_extents(extents))
+        return useful / span >= self.min_useful_fraction
+
+
+def sieved_read(
+    handle: FileHandle, extents: list[Extent], config: SieveConfig | None = None
+) -> bytes:
+    """Read ``extents`` (in list order), sieving through one covering
+    window when profitable."""
+    config = config or SieveConfig()
+    extents = [e for e in extents if e[1] > 0]
+    if not extents:
+        return b""
+    if not config.should_sieve(extents):
+        return handle.read_extents(extents)
+    lo = min(off for off, _ln in extents)
+    hi = max(off + ln for off, ln in extents)
+    window = handle.read(lo, hi - lo)
+    out = bytearray()
+    for off, ln in extents:
+        out += window[off - lo : off - lo + ln]
+    return bytes(out)
+
+
+def sieved_write(
+    handle: FileHandle,
+    extents: list[Extent],
+    data: bytes,
+    config: SieveConfig | None = None,
+) -> int:
+    """Write ``data`` across ``extents``, via read-modify-write of the
+    covering window when profitable."""
+    config = config or SieveConfig()
+    extents = [e for e in extents if e[1] > 0]
+    if not extents:
+        return 0
+    if total_extent_bytes(extents) != len(data):
+        raise DPFSError(
+            f"extents cover {total_extent_bytes(extents)} bytes, "
+            f"payload is {len(data)}"
+        )
+    if not config.should_sieve(extents):
+        return handle.write_extents(extents, data)
+    lo = min(off for off, _ln in extents)
+    hi = max(off + ln for off, ln in extents)
+    window = bytearray(handle.read(lo, hi - lo))
+    if len(window) < hi - lo:                 # writing past EOF
+        window.extend(b"\x00" * (hi - lo - len(window)))
+    pos = 0
+    for off, ln in extents:
+        window[off - lo : off - lo + ln] = data[pos : pos + ln]
+        pos += ln
+    handle.write(lo, bytes(window))
+    return len(data)
+
+
+# ---------------------------------------------------------------------------
+# two-phase collective I/O
+# ---------------------------------------------------------------------------
+
+def _file_domains(lo: int, hi: int, n_aggregators: int) -> list[Extent]:
+    """Split [lo, hi) into contiguous, nearly equal file domains."""
+    span = hi - lo
+    n = max(1, min(n_aggregators, span))
+    base = span // n
+    extra = span % n
+    domains: list[Extent] = []
+    pos = lo
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        if size:
+            domains.append((pos, size))
+            pos += size
+    return domains
+
+
+def two_phase_write(
+    handle: FileHandle,
+    rank_extents: list[list[Extent]],
+    rank_data: list[bytes],
+    n_aggregators: int | None = None,
+) -> int:
+    """Collective write: every rank contributes (extents, packed data).
+
+    Returns total bytes written.  Overlapping writes from different
+    ranks are resolved in rank order (higher rank wins), matching the
+    determinism MPI requires of conforming programs.
+    """
+    if len(rank_extents) != len(rank_data):
+        raise DPFSError("rank_extents/rank_data length mismatch")
+    pieces: list[tuple[int, int, bytes]] = []  # (file_off, len, data)
+    for extents, data in zip(rank_extents, rank_data):
+        expected = total_extent_bytes(extents)
+        if expected != len(data):
+            raise DPFSError(
+                f"rank payload is {len(data)} bytes, extents cover {expected}"
+            )
+        pos = 0
+        for off, ln in extents:
+            if ln > 0:
+                pieces.append((off, ln, data[pos : pos + ln]))
+            pos += ln
+    if not pieces:
+        return 0
+
+    lo = min(off for off, _ln, _d in pieces)
+    hi = max(off + ln for off, ln, _d in pieces)
+    aggregators = n_aggregators or handle.brick_map.n_servers
+    total = 0
+    for dom_off, dom_len in _file_domains(lo, hi, aggregators):
+        dom_hi = dom_off + dom_len
+        # phase 1: gather this domain's bytes from every rank (rank order)
+        buffer = bytearray(dom_len)
+        mask = bytearray(dom_len)
+        for off, ln, data in pieces:
+            a = max(off, dom_off)
+            b = min(off + ln, dom_hi)
+            if a >= b:
+                continue
+            buffer[a - dom_off : b - dom_off] = data[a - off : b - off]
+            for i in range(a - dom_off, b - dom_off):
+                mask[i] = 1
+        # phase 2: the aggregator writes its (coalesced) touched ranges
+        runs: list[Extent] = []
+        i = 0
+        while i < dom_len:
+            if mask[i]:
+                j = i
+                while j < dom_len and mask[j]:
+                    j += 1
+                runs.append((dom_off + i, j - i))
+                i = j
+            else:
+                i += 1
+        if runs:
+            payload = b"".join(
+                bytes(buffer[off - dom_off : off - dom_off + ln])
+                for off, ln in runs
+            )
+            handle.write_extents(runs, payload)
+            total += len(payload)
+    return total
+
+
+def two_phase_read(
+    handle: FileHandle,
+    rank_extents: list[list[Extent]],
+    n_aggregators: int | None = None,
+) -> list[bytes]:
+    """Collective read: returns each rank's packed bytes.
+
+    Aggregators read whole contiguous file domains (one large access
+    each); phase 2 redistributes to the requesting ranks in memory.
+    """
+    all_extents = [e for extents in rank_extents for e in extents if e[1] > 0]
+    if not all_extents:
+        return [b"" for _ in rank_extents]
+    lo = min(off for off, _ln in all_extents)
+    hi = max(off + ln for off, ln in all_extents)
+    aggregators = n_aggregators or handle.brick_map.n_servers
+
+    window = bytearray(hi - lo)
+    for dom_off, dom_len in _file_domains(lo, hi, aggregators):
+        chunk = handle.read(dom_off, dom_len)
+        window[dom_off - lo : dom_off - lo + len(chunk)] = chunk
+
+    results: list[bytes] = []
+    for extents in rank_extents:
+        out = bytearray()
+        for off, ln in extents:
+            out += window[off - lo : off - lo + ln]
+        results.append(bytes(out))
+    return results

@@ -1,0 +1,149 @@
+"""The MPI-IO-style file object over DPFS.
+
+Emulates the MPI-2 I/O interface for a fixed number of logical ranks in
+one process: per-rank file views, independent ``read_at``/``write_at``
+(with optional data sieving), and collective
+``read_at_all``/``write_at_all`` using two-phase I/O.
+
+    mf = MPIFile.open(fs, "/data", "w", nprocs=4,
+                      hint=Hint.linear(file_size=N))
+    mf.set_view(rank, FileView(displacement=0, filetype=Vector(...)))
+    mf.write_at(rank, 0, payload)            # independent
+    mf.write_at_all(offsets, payloads)       # collective, two-phase
+"""
+
+from __future__ import annotations
+
+from ..core.filesystem import DPFS
+from ..core.handle import FileHandle
+from ..core.hints import Hint
+from ..errors import BadFileHandle, DPFSError
+from .collective import (
+    SieveConfig,
+    sieved_read,
+    sieved_write,
+    two_phase_read,
+    two_phase_write,
+)
+from .views import FileView, view_extents
+
+__all__ = ["MPIFile"]
+
+
+class MPIFile:
+    """An open MPI-IO file: one shared DPFS handle + per-rank views."""
+
+    def __init__(
+        self,
+        handle: FileHandle,
+        nprocs: int,
+        sieve: SieveConfig | None = None,
+    ) -> None:
+        if nprocs < 1:
+            raise DPFSError("nprocs must be >= 1")
+        self.handle = handle
+        self.nprocs = nprocs
+        self.views = [FileView() for _ in range(nprocs)]
+        self.sieve = sieve or SieveConfig()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        fs: DPFS,
+        path: str,
+        mode: str = "r",
+        *,
+        nprocs: int = 1,
+        hint: Hint | None = None,
+        sieve: SieveConfig | None = None,
+    ) -> "MPIFile":
+        handle = fs.open(path, mode, hint=hint)
+        return cls(handle, nprocs, sieve)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.handle.close()
+
+    def __enter__(self) -> "MPIFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check(self, rank: int) -> None:
+        if self._closed:
+            raise BadFileHandle("MPI file is closed")
+        if not 0 <= rank < self.nprocs:
+            raise DPFSError(f"rank {rank} outside [0, {self.nprocs})")
+
+    # -- views ----------------------------------------------------------------
+    def set_view(self, rank: int, view: FileView) -> None:
+        """MPI_File_set_view for one logical rank."""
+        self._check(rank)
+        self.views[rank] = view
+
+    def view_of(self, rank: int) -> FileView:
+        self._check(rank)
+        return self.views[rank]
+
+    # -- independent I/O ----------------------------------------------------------
+    def read_at(self, rank: int, offset: int, nbytes: int, *, sieving: bool = True) -> bytes:
+        """Independent read of ``nbytes`` at ``offset`` (etypes) in the
+        rank's view; data sieving kicks in for hole-y typemaps."""
+        self._check(rank)
+        extents = view_extents(self.views[rank], offset, nbytes)
+        if sieving:
+            return sieved_read(self.handle, extents, self.sieve)
+        return self.handle.read_extents(extents)
+
+    def write_at(self, rank: int, offset: int, data: bytes, *, sieving: bool = True) -> int:
+        """Independent write at ``offset`` (etypes) in the rank's view."""
+        self._check(rank)
+        extents = view_extents(self.views[rank], offset, len(data))
+        if sieving:
+            return sieved_write(self.handle, extents, data, self.sieve)
+        return self.handle.write_extents(extents, data)
+
+    # -- collective I/O --------------------------------------------------------------
+    def read_at_all(
+        self,
+        offsets: list[int],
+        nbytes: list[int],
+        *,
+        n_aggregators: int | None = None,
+    ) -> list[bytes]:
+        """Collective read: every rank passes its (offset, byte count);
+        returns each rank's packed data (two-phase I/O)."""
+        if len(offsets) != self.nprocs or len(nbytes) != self.nprocs:
+            raise DPFSError("collective call needs one entry per rank")
+        rank_extents = [
+            view_extents(self.views[r], offsets[r], nbytes[r])
+            for r in range(self.nprocs)
+        ]
+        return two_phase_read(self.handle, rank_extents, n_aggregators)
+
+    def write_at_all(
+        self,
+        offsets: list[int],
+        buffers: list[bytes],
+        *,
+        n_aggregators: int | None = None,
+    ) -> int:
+        """Collective write (two-phase): interleaved per-rank typemaps
+        become a few large contiguous accesses."""
+        if len(offsets) != self.nprocs or len(buffers) != self.nprocs:
+            raise DPFSError("collective call needs one entry per rank")
+        rank_extents = [
+            view_extents(self.views[r], offsets[r], len(buffers[r]))
+            for r in range(self.nprocs)
+        ]
+        return two_phase_write(self.handle, rank_extents, buffers, n_aggregators)
+
+    # -- stats -----------------------------------------------------------------
+    @property
+    def stats(self):
+        """The underlying DPFS handle's request/byte counters."""
+        return self.handle.stats

@@ -1,0 +1,93 @@
+"""MPI-IO file views.
+
+A view = (displacement, etype, filetype): the file, as seen by one
+process, is the filetype *tiled* end to end starting at the
+displacement; only the typemap bytes are visible, holes belong to other
+processes.  Offsets in data operations count etypes within that visible
+stream (MPI-2 semantics).
+
+:func:`view_extents` converts (view, offset-in-etypes, byte-count) into
+absolute file extents — the workhorse used by both independent and
+collective operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datatypes import BYTE, Contiguous, Datatype
+from ..errors import DatatypeError
+from ..util import Extent
+
+__all__ = ["FileView", "view_extents"]
+
+
+@dataclass(frozen=True)
+class FileView:
+    """One process's window onto the file."""
+
+    displacement: int = 0
+    etype: Datatype = BYTE
+    filetype: Datatype = BYTE
+
+    def __post_init__(self) -> None:
+        if self.displacement < 0:
+            raise DatatypeError("negative view displacement")
+        if self.etype.size <= 0:
+            raise DatatypeError("etype must have positive size")
+        if self.filetype.size % self.etype.size:
+            raise DatatypeError(
+                f"filetype size {self.filetype.size} is not a whole number "
+                f"of etypes ({self.etype.size} B)"
+            )
+
+    @property
+    def etypes_per_tile(self) -> int:
+        return self.filetype.size // self.etype.size
+
+    def tile_extents(self, tile_index: int) -> list[Extent]:
+        """Absolute byte extents of one filetype repetition."""
+        base = self.displacement + tile_index * self.filetype.extent
+        return self.filetype.flattened(base)
+
+
+def view_extents(view: FileView, offset_etypes: int, nbytes: int) -> list[Extent]:
+    """Absolute file extents for ``nbytes`` starting at ``offset_etypes``
+    within the view's visible stream, in stream order (uncoalesced)."""
+    if offset_etypes < 0 or nbytes < 0:
+        raise DatatypeError("negative offset/length")
+    if nbytes == 0:
+        return []
+    if view.filetype.size == 0:
+        raise DatatypeError("view filetype selects no bytes")
+    esize = view.etype.size
+    skip_bytes = offset_etypes * esize
+
+    out: list[Extent] = []
+    tile = skip_bytes // view.filetype.size
+    within = skip_bytes % view.filetype.size
+    remaining = nbytes
+    while remaining > 0:
+        for ext_off, ext_len in view.tile_extents(tile):
+            if within >= ext_len:
+                within -= ext_len
+                continue
+            start = ext_off + within
+            take = min(ext_len - within, remaining)
+            within = 0
+            if out and out[-1][0] + out[-1][1] == start:
+                out[-1] = (out[-1][0], out[-1][1] + take)
+            else:
+                out.append((start, take))
+            remaining -= take
+            if remaining == 0:
+                break
+        tile += 1
+    return out
+
+
+def contiguous_view(nbytes_visible: int | None = None) -> FileView:
+    """The default MPI view: the whole file as a byte stream."""
+    if nbytes_visible is None:
+        return FileView()
+    return FileView(filetype=Contiguous(nbytes_visible))

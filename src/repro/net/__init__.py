@@ -1,0 +1,13 @@
+"""Real TCP client/server transport (§2: sockets over TCP/IP)."""
+
+from .client import RemoteBackend, ServerConnection
+from .protocol import recv_message, send_message
+from .server import DPFSServer
+
+__all__ = [
+    "DPFSServer",
+    "ServerConnection",
+    "RemoteBackend",
+    "send_message",
+    "recv_message",
+]

@@ -1,0 +1,205 @@
+"""Client side of the TCP transport: connections and the remote backend.
+
+:class:`ServerConnection` wraps one socket to one DPFS server;
+:class:`RemoteBackend` implements the storage-backend interface over a
+pool of such connections, so the whole file system stack (striping,
+combination, metadata) runs unchanged against real servers.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Sequence
+
+from ..backends.base import ServerInfo, StorageBackend
+from ..errors import (
+    FileSystemError,
+    ProtocolError,
+    ServerError,
+    TransportError,
+)
+from ..util import Extent
+from .protocol import recv_message, send_message
+
+__all__ = ["ServerConnection", "RemoteBackend"]
+
+
+class ServerConnection:
+    """One persistent connection to one DPFS server (thread-safe).
+
+    Busy rejections (§4.2: overloaded servers tell clients to "try
+    again later") are retried with exponential backoff up to
+    ``busy_retries`` times before surfacing as :class:`ServerError`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        *,
+        busy_retries: int = 8,
+        busy_backoff_s: float = 0.01,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.busy_retries = busy_retries
+        self.busy_backoff_s = busy_backoff_s
+        self.retried_requests = 0
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to dpfs server at {host}:{port}: {exc}"
+            ) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+        self.info = self._ping()
+
+    # -- plumbing ---------------------------------------------------------
+    def _call_once(
+        self, header: dict[str, Any], payload: bytes = b""
+    ) -> tuple[dict[str, Any], bytes]:
+        with self._lock:
+            try:
+                send_message(self._sock, header, payload)
+                reply, data = recv_message(self._sock)
+            except OSError as exc:
+                raise TransportError(
+                    f"I/O error talking to {self.host}:{self.port}: {exc}"
+                ) from exc
+        if not reply.get("ok"):
+            kind = reply.get("kind", "ServerError")
+            message = reply.get("error", "unknown server error")
+            if kind == "FileNotFoundError":
+                raise FileSystemError(message)
+            raise ServerError(f"{kind}: {message}")
+        return reply, data
+
+    def _call(
+        self, header: dict[str, Any], payload: bytes = b""
+    ) -> tuple[dict[str, Any], bytes]:
+        delay = self.busy_backoff_s
+        for attempt in range(self.busy_retries + 1):
+            try:
+                return self._call_once(header, payload)
+            except ServerError as exc:
+                if "ServerBusy" not in str(exc) or attempt == self.busy_retries:
+                    raise
+                self.retried_requests += 1
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _ping(self) -> ServerInfo:
+        reply, _ = self._call({"op": "ping"})
+        return ServerInfo(
+            name=str(reply.get("name", f"{self.host}:{self.port}")),
+            capacity=int(reply.get("capacity", 0)),
+            performance=float(reply.get("performance", 1.0)),
+        )
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    # -- operations -----------------------------------------------------------
+    def create(self, name: str) -> None:
+        self._call({"op": "create", "name": name})
+
+    def delete(self, name: str) -> None:
+        self._call({"op": "delete", "name": name})
+
+    def exists(self, name: str) -> bool:
+        reply, _ = self._call({"op": "exists", "name": name})
+        return bool(reply["exists"])
+
+    def rename(self, old: str, new: str) -> None:
+        self._call({"op": "rename", "name": old, "new_name": new})
+
+    def list(self) -> list[str]:
+        reply, _ = self._call({"op": "list"})
+        return list(reply.get("names", []))
+
+    def size(self, name: str) -> int:
+        reply, _ = self._call({"op": "size", "name": name})
+        return int(reply["size"])
+
+    def read(self, name: str, extents: Sequence[Extent]) -> bytes:
+        _, data = self._call(
+            {"op": "read", "name": name, "extents": [list(e) for e in extents]}
+        )
+        expected = sum(ln for _o, ln in extents)
+        if len(data) != expected:
+            raise ProtocolError(
+                f"server returned {len(data)} bytes, expected {expected}"
+            )
+        return data
+
+    def write(self, name: str, extents: Sequence[Extent], data: bytes) -> None:
+        self._call(
+            {"op": "write", "name": name, "extents": [list(e) for e in extents]},
+            data,
+        )
+
+
+class RemoteBackend(StorageBackend):
+    """Storage backend over a set of (host, port) DPFS servers."""
+
+    def __init__(self, addresses: Sequence[tuple[str, int]], timeout: float = 30.0) -> None:
+        if not addresses:
+            raise TransportError("need at least one server address")
+        self.connections = [
+            ServerConnection(host, port, timeout) for host, port in addresses
+        ]
+        self._servers = [conn.info for conn in self.connections]
+
+    @property
+    def servers(self) -> list[ServerInfo]:
+        return list(self._servers)
+
+    def close(self) -> None:
+        for conn in self.connections:
+            conn.close()
+
+    # -- backend interface ---------------------------------------------------
+    def create_subfile(self, server: int, name: str) -> None:
+        self._check_server(server)
+        self.connections[server].create(name)
+
+    def delete_subfile(self, server: int, name: str) -> None:
+        self._check_server(server)
+        self.connections[server].delete(name)
+
+    def subfile_exists(self, server: int, name: str) -> bool:
+        self._check_server(server)
+        return self.connections[server].exists(name)
+
+    def rename_subfile(self, server: int, old: str, new: str) -> None:
+        self._check_server(server)
+        self.connections[server].rename(old, new)
+
+    def list_subfiles(self, server: int) -> list[str]:
+        self._check_server(server)
+        return self.connections[server].list()
+
+    def subfile_size(self, server: int, name: str) -> int:
+        self._check_server(server)
+        return self.connections[server].size(name)
+
+    def read_extents(
+        self, server: int, name: str, extents: Sequence[Extent]
+    ) -> bytes:
+        self._check_server(server)
+        return self.connections[server].read(name, extents)
+
+    def write_extents(
+        self, server: int, name: str, extents: Sequence[Extent], data: bytes
+    ) -> None:
+        self._check_server(server)
+        self._check_payload(extents, data)
+        self.connections[server].write(name, extents, data)

@@ -1,0 +1,101 @@
+"""Wire protocol between DPFS clients and servers.
+
+The paper's clients talk to servers with BSD sockets over TCP/IP (§2).
+We use a simple framed protocol: every message is
+
+====================  =====================================================
+8-byte prefix         ``!II`` — JSON header length, binary payload length
+header (JSON, UTF-8)  ``{"op": ..., "name": ..., "extents": [[off, len]...]}``
+payload (binary)      write data / read results
+====================  =====================================================
+
+Operations::
+
+    ping            liveness + server info
+    create          create a subfile
+    delete          delete a subfile
+    exists          does a subfile exist
+    size            physical subfile size
+    read            extent-list read  → payload
+    write           extent-list write (payload attached)
+    rename          rename a subfile (``new_name`` field)
+    list            names of every subfile on the server
+
+Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": ...,
+"kind": ...}``; errors re-raise client-side as the matching DPFS
+exception type.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "MAX_HEADER",
+    "MAX_PAYLOAD",
+    "send_message",
+    "recv_message",
+    "OPS",
+]
+
+_PREFIX = struct.Struct("!II")
+
+#: sanity bounds so a corrupt prefix cannot allocate gigabytes
+MAX_HEADER = 1 << 20          # 1 MiB of JSON
+MAX_PAYLOAD = 1 << 31         # 2 GiB of data
+
+OPS = frozenset(
+    {
+        "ping", "create", "delete", "exists", "size", "read", "write",
+        "rename", "list",
+    }
+)
+
+
+def send_message(sock: socket.socket, header: dict[str, Any], payload: bytes = b"") -> None:
+    """Send one framed message."""
+    raw_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(raw_header) > MAX_HEADER:
+        raise ProtocolError(f"header too large: {len(raw_header)} bytes")
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"payload too large: {len(payload)} bytes")
+    sock.sendall(_PREFIX.pack(len(raw_header), len(payload)) + raw_header + payload)
+
+
+def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    """Read exactly ``nbytes`` or raise on EOF."""
+    chunks: list[bytes] = []
+    remaining = nbytes
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-message ({remaining} bytes missing)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> tuple[dict[str, Any], bytes]:
+    """Receive one framed message; raises ProtocolError on malformed input."""
+    prefix = _recv_exact(sock, _PREFIX.size)
+    header_len, payload_len = _PREFIX.unpack(prefix)
+    if header_len > MAX_HEADER:
+        raise ProtocolError(f"declared header length {header_len} too large")
+    if payload_len > MAX_PAYLOAD:
+        raise ProtocolError(f"declared payload length {payload_len} too large")
+    raw_header = _recv_exact(sock, header_len)
+    try:
+        header = json.loads(raw_header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed message header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("message header must be a JSON object")
+    payload = _recv_exact(sock, payload_len) if payload_len else b""
+    return header, payload

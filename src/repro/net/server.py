@@ -1,0 +1,256 @@
+"""The DPFS server program (§2).
+
+One server process sits on one storage device, stores subfiles on its
+local file system, and services client requests — "the server ... uses
+the local file system API to actually perform I/O".  Concurrency comes
+from a thread per connection (the paper's servers "spawn multiple
+processes or threads" per request); actual disk I/O is serialized per
+subfile by a lock, mirroring the sequential nature of the device.
+
+Run standalone::
+
+    dpfs server --root /scratch/dpfs0 --port 7001
+
+or embedded (tests)::
+
+    with DPFSServer(root, port=0) as server:
+        ... connect to server.address ...
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import socketserver
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from ..backends.local import escape_subfile_name
+from ..errors import ProtocolError
+from ..util import Extent
+from .protocol import OPS, recv_message, send_message
+
+__all__ = ["DPFSServer"]
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One thread per client connection; loops over framed requests."""
+
+    server: "_TCPServer"
+
+    def handle(self) -> None:
+        sock: socket.socket = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        while True:
+            try:
+                header, payload = recv_message(sock)
+            except ProtocolError:
+                return  # connection closed or garbage: drop it
+            try:
+                reply, data = self.server.owner._dispatch(header, payload)
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                reply, data = (
+                    {
+                        "ok": False,
+                        "error": str(exc),
+                        "kind": type(exc).__name__,
+                    },
+                    b"",
+                )
+            try:
+                send_message(sock, reply, data)
+            except OSError:
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    owner: "DPFSServer"
+
+
+class ServerBusy(Exception):
+    """§4.2: "This could make a server too busy to handle all the
+    requests ... The un-handled requests have to try again later."  The
+    server rejects work beyond ``max_concurrent`` with this error; the
+    client retries with backoff."""
+
+
+class DPFSServer:
+    """A storage server bound to a root directory."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        name: str | None = None,
+        capacity: int = 1 << 30,
+        performance: float = 1.0,
+        max_concurrent: int | None = None,
+        io_delay_s: float = 0.0,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.capacity = capacity
+        self.performance = performance
+        self.max_concurrent = max_concurrent
+        #: artificial per-I/O delay (testing aid: makes overload windows
+        #: deterministic)
+        self.io_delay_s = io_delay_s
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.owner = self
+        self.name = name or f"dpfs://{self.address[0]}:{self.address[1]}"
+        self._thread: threading.Thread | None = None
+        self._io_lock = threading.Lock()
+        self.requests_served = 0
+        self.requests_rejected = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._tcp.server_address  # type: ignore[return-value]
+
+    def start(self) -> "DPFSServer":
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name=f"dpfs-server-{self.address[1]}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "DPFSServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- request dispatch -----------------------------------------------------
+    def _path(self, name: str) -> Path:
+        return self.root / escape_subfile_name(name)
+
+    def _dispatch(self, header: dict[str, Any], payload: bytes) -> tuple[dict[str, Any], bytes]:
+        op = header.get("op")
+        if op not in OPS:
+            raise ProtocolError(f"unknown operation {op!r}")
+        if self.max_concurrent is not None and op in ("read", "write"):
+            with self._inflight_lock:
+                if self._inflight >= self.max_concurrent:
+                    self.requests_rejected += 1
+                    raise ServerBusy(
+                        f"server at {self.max_concurrent} concurrent "
+                        f"requests; try again later"
+                    )
+                self._inflight += 1
+            try:
+                if self.io_delay_s:
+                    time.sleep(self.io_delay_s)
+                return self._dispatch_inner(op, header, payload)
+            finally:
+                with self._inflight_lock:
+                    self._inflight -= 1
+        return self._dispatch_inner(op, header, payload)
+
+    def _dispatch_inner(
+        self, op: str, header: dict[str, Any], payload: bytes
+    ) -> tuple[dict[str, Any], bytes]:
+        self.requests_served += 1
+        if op == "ping":
+            return (
+                {
+                    "ok": True,
+                    "name": self.name,
+                    "capacity": self.capacity,
+                    "performance": self.performance,
+                },
+                b"",
+            )
+        if op == "list":
+            from ..backends.local import unescape_subfile_name
+
+            names = sorted(
+                unescape_subfile_name(p.name)
+                for p in self.root.iterdir()
+                if p.is_file()
+            )
+            return {"ok": True, "names": names}, b""
+        name = header.get("name")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("missing subfile name")
+        path = self._path(name)
+        if op == "create":
+            path.touch()
+            return {"ok": True}, b""
+        if op == "delete":
+            if path.exists():
+                path.unlink()
+            return {"ok": True}, b""
+        if op == "exists":
+            return {"ok": True, "exists": path.exists()}, b""
+        if op == "rename":
+            new_name = header.get("new_name")
+            if not isinstance(new_name, str) or not new_name:
+                raise ProtocolError("rename needs new_name")
+            if path.exists():
+                path.replace(self._path(new_name))
+            return {"ok": True}, b""
+        if op == "size":
+            if not path.exists():
+                raise FileNotFoundError(f"no subfile {name!r}")
+            return {"ok": True, "size": path.stat().st_size}, b""
+        extents = [
+            (int(off), int(ln)) for off, ln in header.get("extents", [])
+        ]
+        for off, ln in extents:
+            if off < 0 or ln < 0:
+                raise ProtocolError(f"invalid extent ({off}, {ln})")
+        if op == "read":
+            return {"ok": True}, self._read(path, name, extents)
+        # write
+        total = sum(ln for _o, ln in extents)
+        if total != len(payload):
+            raise ProtocolError(
+                f"extents cover {total} bytes but payload is {len(payload)}"
+            )
+        self._write(path, name, extents, payload)
+        return {"ok": True}, b""
+
+    # -- local I/O (serialized — the device is sequential, §4.2) ------------
+    def _read(self, path: Path, name: str, extents: list[Extent]) -> bytes:
+        if not path.exists():
+            raise FileNotFoundError(f"no subfile {name!r}")
+        out = bytearray()
+        with self._io_lock, open(path, "rb") as fh:
+            size = os.fstat(fh.fileno()).st_size
+            for off, ln in extents:
+                if off < size:
+                    fh.seek(off)
+                    chunk = fh.read(min(ln, size - off))
+                else:
+                    chunk = b""
+                if len(chunk) < ln:
+                    chunk += b"\x00" * (ln - len(chunk))
+                out += chunk
+        return bytes(out)
+
+    def _write(self, path: Path, name: str, extents: list[Extent], payload: bytes) -> None:
+        if not path.exists():
+            raise FileNotFoundError(f"no subfile {name!r}")
+        pos = 0
+        with self._io_lock, open(path, "r+b") as fh:
+            for off, ln in extents:
+                fh.seek(off)
+                fh.write(payload[pos : pos + ln])
+                pos += ln

@@ -1,0 +1,33 @@
+"""Simulated networks, disks and I/O nodes for the §8 evaluation."""
+
+from .classes import (
+    CLASS1,
+    CLASS2,
+    CLASS3,
+    CLASSES,
+    StorageClassParams,
+    build_topology,
+    scaled_class,
+)
+from .disk import Disk, DiskParams
+from .network import Link, LinkParams, Path
+from .node import CostParams, SimServer, WireRequest, serve_request
+
+__all__ = [
+    "Disk",
+    "DiskParams",
+    "Link",
+    "LinkParams",
+    "Path",
+    "SimServer",
+    "WireRequest",
+    "CostParams",
+    "serve_request",
+    "StorageClassParams",
+    "CLASS1",
+    "CLASS2",
+    "CLASS3",
+    "CLASSES",
+    "build_topology",
+    "scaled_class",
+]

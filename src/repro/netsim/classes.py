@@ -1,0 +1,149 @@
+"""The three storage classes of §8 and topology construction.
+
+The paper's external storage:
+
+=======  ==========================================================
+class 1  Linux machines at Argonne, Fast Ethernet + ATM LAN, close
+         to the SP2 (lowest latency; *"accessing a brick from class 1
+         is about 3 times faster than from class 3"*)
+class 2  8 HP workstations at Northwestern on a shared 10 Mb
+         Ethernet, reached over a metropolitan network
+class 3  8 SUN workstations at Northwestern on 155 Mb ATM, reached
+         over the same metropolitan network
+=======  ==========================================================
+
+The parameters below are calibrated (see EXPERIMENTS.md) so the §8
+figures land in the paper's single-digit-MB/s range with the paper's
+orderings; they are *models*, not measurements of 2001 hardware.
+
+``build_topology`` turns class specs into :class:`SimServer` objects:
+per-server NIC links (or one shared medium for class 2), plus one
+shared trunk per class (the LAN backbone for class 1, the metro WAN
+for classes 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Sequence
+
+from ..errors import ConfigError
+from ..sim import Environment
+from ..util import MiB
+from .disk import Disk, DiskParams
+from .network import Link, LinkParams, Path
+from .node import SimServer
+
+__all__ = ["StorageClassParams", "CLASS1", "CLASS2", "CLASS3", "CLASSES", "build_topology"]
+
+
+@dataclass(frozen=True)
+class StorageClassParams:
+    """Everything needed to instantiate servers of one storage class."""
+
+    class_id: int
+    description: str
+    disk: DiskParams
+    nic: LinkParams                  # per-server link (or the shared medium)
+    nic_shared: bool                 # True → one medium for every server
+    trunk: LinkParams                # shared backbone/WAN for the class
+    #: normalized brick access time for the greedy algorithm (fastest = 1)
+    performance: float
+
+    def __post_init__(self) -> None:
+        if self.performance <= 0:
+            raise ConfigError("performance number must be positive")
+
+
+#: Argonne Linux boxes — switched Fast Ethernet LAN next to the SP2.
+CLASS1 = StorageClassParams(
+    class_id=1,
+    description="ANL Linux workstations, Fast Ethernet + ATM LAN",
+    disk=DiskParams(seek_s=0.018, read_bps=3.0 * MiB, write_bps=2.25 * MiB),
+    nic=LinkParams(bandwidth_bps=12.0 * MiB, latency_s=0.0005),
+    nic_shared=False,
+    trunk=LinkParams(bandwidth_bps=24.0 * MiB, latency_s=0.0005),
+    performance=1.0,
+)
+
+#: Northwestern HP workstations — one shared 10 Mb Ethernet + metro WAN.
+CLASS2 = StorageClassParams(
+    class_id=2,
+    description="NWU HP workstations, shared 10 Mb Ethernet, metro WAN",
+    disk=DiskParams(seek_s=0.020, read_bps=2.5 * MiB, write_bps=1.9 * MiB),
+    nic=LinkParams(bandwidth_bps=1.1 * MiB, latency_s=0.003),   # shared medium
+    nic_shared=True,
+    trunk=LinkParams(bandwidth_bps=3.0 * MiB, latency_s=0.015),
+    performance=4.0,
+)
+
+#: Northwestern SUN workstations — 155 Mb ATM + the same metro WAN.
+CLASS3 = StorageClassParams(
+    class_id=3,
+    description="NWU SUN workstations, 155 Mb ATM, metro WAN",
+    disk=DiskParams(seek_s=0.020, read_bps=1.0 * MiB, write_bps=0.75 * MiB),
+    nic=LinkParams(bandwidth_bps=18.0 * MiB, latency_s=0.001),
+    nic_shared=False,
+    trunk=LinkParams(bandwidth_bps=6.0 * MiB, latency_s=0.012),
+    performance=3.0,
+)
+
+CLASSES: dict[int, StorageClassParams] = {1: CLASS1, 2: CLASS2, 3: CLASS3}
+
+
+def scaled_class(params: StorageClassParams, factor: float) -> StorageClassParams:
+    """A uniformly slower/faster variant (ablation helper)."""
+    if factor <= 0:
+        raise ConfigError("scale factor must be positive")
+    return replace(
+        params,
+        disk=DiskParams(
+            seek_s=params.disk.seek_s / factor,
+            read_bps=params.disk.read_bps * factor,
+            write_bps=params.disk.write_bps * factor,
+        ),
+        nic=LinkParams(params.nic.bandwidth_bps * factor, params.nic.latency_s / factor),
+        trunk=LinkParams(params.trunk.bandwidth_bps * factor, params.trunk.latency_s / factor),
+        performance=params.performance / factor,
+    )
+
+
+def build_topology(
+    env: Environment,
+    class_per_server: Sequence[StorageClassParams],
+) -> list[SimServer]:
+    """Create one :class:`SimServer` per entry of ``class_per_server``.
+
+    Servers of the same class share that class's trunk link; class-2
+    style servers additionally share one medium.  Mixed-class pools
+    (Figs. 13/14: half class 1, half class 3) just interleave entries.
+    """
+    if not class_per_server:
+        raise ConfigError("need at least one server")
+    trunks: dict[int, Link] = {}
+    media: dict[int, Link] = {}
+    servers: list[SimServer] = []
+    for idx, params in enumerate(class_per_server):
+        trunk = trunks.get(params.class_id)
+        if trunk is None:
+            trunk = Link(env, params.trunk, name=f"trunk.c{params.class_id}")
+            trunks[params.class_id] = trunk
+        if params.nic_shared:
+            nic = media.get(params.class_id)
+            if nic is None:
+                nic = Link(env, params.nic, name=f"medium.c{params.class_id}")
+                media[params.class_id] = nic
+        else:
+            nic = Link(env, params.nic, name=f"nic.s{idx}")
+        disk = Disk(env, params.disk, name=f"disk.s{idx}")
+        servers.append(
+            SimServer(
+                env,
+                idx,
+                disk,
+                Path([nic, trunk]),
+                name=f"c{params.class_id}.s{idx}",
+                storage_class=params.class_id,
+            )
+        )
+    return servers

@@ -1,0 +1,81 @@
+"""Network link models.
+
+:class:`Link` is a store-and-forward pipe: a message holds the link for
+``bytes / bandwidth`` seconds (FIFO), then pays the propagation latency
+without occupying it.  A *shared medium* (the 10 Mb Ethernet of storage
+class 2) is simply one ``Link`` object passed to several servers; a
+switched LAN gives each server its own ``Link``.  A *path* is a link
+sequence traversed in order — e.g. server NIC → metro-WAN trunk for the
+Northwestern classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..sim import Environment, Resource, Tally
+
+__all__ = ["LinkParams", "Link", "Path"]
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    bandwidth_bps: float    # bytes per second
+    latency_s: float = 0.0  # one-way propagation
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0 or self.latency_s < 0:
+            raise ConfigError(f"invalid link parameters {self}")
+
+
+class Link:
+    """One contended pipe (FIFO, full-duplex approximated as one queue)."""
+
+    def __init__(self, env: Environment, params: LinkParams, name: str = "link") -> None:
+        self.env = env
+        self.params = params
+        self.name = name
+        self._pipe = Resource(env, capacity=1)
+        self.busy_time = 0.0
+        self.messages = 0
+        self.bytes_moved = 0
+        self.wait = Tally(f"{name}.wait")
+
+    def transfer(self, nbytes: int):
+        """Simulation sub-process: move ``nbytes`` across this link."""
+        if nbytes < 0:
+            raise ConfigError(f"negative message size {nbytes}")
+        hold = nbytes / self.params.bandwidth_bps
+        arrived = self.env.now
+        with self._pipe.request() as grant:
+            yield grant
+            self.wait.observe(self.env.now - arrived)
+            yield self.env.timeout(hold)
+        self.busy_time += hold
+        self.messages += 1
+        self.bytes_moved += nbytes
+        if self.params.latency_s:
+            yield self.env.timeout(self.params.latency_s)
+
+    @property
+    def utilization_hint(self) -> float:
+        """Busy fraction so far (diagnostics)."""
+        return self.busy_time / self.env.now if self.env.now > 0 else 0.0
+
+
+class Path:
+    """An ordered chain of links (store-and-forward)."""
+
+    def __init__(self, links: list[Link]) -> None:
+        self.links = list(links)
+
+    def transfer(self, nbytes: int):
+        for link in self.links:
+            yield from link.transfer(nbytes)
+
+    def latency(self) -> float:
+        return sum(link.params.latency_s for link in self.links)
+
+    def __iter__(self):
+        return iter(self.links)

@@ -1,0 +1,175 @@
+"""Simulated I/O nodes and the synchronous request lifecycle.
+
+A :class:`SimServer` bundles a disk, a network path to the compute
+site, and a CPU resource on which request handlers are spawned ("the
+server's spawning multiple processes or threads to handle them", §2).
+
+:func:`serve_request` plays out one client request end to end.  DPFS
+clients are synchronous — a client process issues its next request only
+after the previous one completes — so concurrency comes from many
+client processes contending on the shared resources (CPU, disk,
+links), which is what produces the queueing/convoy effects §4.2
+describes.
+
+Within one request the server *streams*: it reads the extent list from
+disk in ``pipeline_block_bytes`` pieces and sends each piece while the
+next is being read (and symmetrically for writes).  This matters for
+combined requests, whose many-brick payloads would otherwise serialize
+disk and network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..sim import Environment, Resource, Store
+from ..util import Extent, split_extent
+from .disk import Disk
+from .network import Path
+
+__all__ = ["CostParams", "SimServer", "WireRequest", "serve_request"]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Software per-request costs (seconds / bytes)."""
+
+    client_overhead_s: float = 0.0003   # marshal request, brick math
+    spawn_s: float = 0.0015             # server fork/thread + dispatch
+    request_header_bytes: int = 256     # base request message size
+    per_extent_bytes: int = 16          # wire cost of each extent descriptor
+    pipeline_block_bytes: int = 256 * 1024  # server streaming buffer
+
+    def __post_init__(self) -> None:
+        if min(self.client_overhead_s, self.spawn_s) < 0:
+            raise ConfigError("negative cost parameter")
+        if self.request_header_bytes < 0 or self.per_extent_bytes < 0:
+            raise ConfigError("negative message size parameter")
+        if self.pipeline_block_bytes <= 0:
+            raise ConfigError("pipeline block must be positive")
+
+    def request_bytes(self, n_extents: int) -> int:
+        return self.request_header_bytes + self.per_extent_bytes * n_extents
+
+
+class SimServer:
+    """One simulated storage server."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server_id: int,
+        disk: Disk,
+        path: Path,
+        *,
+        name: str = "",
+        storage_class: int = 0,
+    ) -> None:
+        self.env = env
+        self.server_id = server_id
+        self.disk = disk
+        self.path = path
+        self.name = name or f"sim{server_id}"
+        self.storage_class = storage_class
+        self.cpu = Resource(env, capacity=1)
+        self.requests_served = 0
+
+
+@dataclass(frozen=True)
+class WireRequest:
+    """One client→server request as the simulator sees it."""
+
+    server: int
+    extents: tuple[Extent, ...]     # already coalesced subfile extents
+    transfer_bytes: int             # bytes that cross the network as data
+    is_read: bool
+
+
+def _blocks(request: WireRequest, block_bytes: int) -> list[tuple[bool, int]]:
+    """(pays_seek, nbytes) stream pieces of the request's extent list."""
+    out: list[tuple[bool, int]] = []
+    for extent in request.extents:
+        for i, (_off, ln) in enumerate(split_extent(extent, block_bytes)):
+            out.append((i == 0, ln))
+    return out
+
+
+def serve_request(
+    env: Environment,
+    server: SimServer,
+    request: WireRequest,
+    costs: CostParams,
+):
+    """Simulation sub-process: one synchronous request, start to finish.
+
+    read : client-overhead → request msg out → spawn → pipelined
+           {disk-read block | data block back}
+    write: client-overhead → request msg out → spawn → pipelined
+           {data block out | disk-write block} → ack latency
+    """
+    if costs.client_overhead_s:
+        yield env.timeout(costs.client_overhead_s)
+
+    header = costs.request_bytes(len(request.extents))
+    yield from server.path.transfer(header)
+    with server.cpu.request() as grant:
+        yield grant
+        yield env.timeout(costs.spawn_s)
+
+    blocks = _blocks(request, costs.pipeline_block_bytes)
+    if not blocks:
+        if server.path.latency():
+            yield env.timeout(server.path.latency())
+        server.requests_served += 1
+        return
+
+    # Bounded store between the two stages = the server's buffer pool.
+    store = Store(env, capacity=4)
+
+    if request.is_read:
+
+        def read_disk_stage():
+            for pays_seek, nbytes in blocks:
+                yield from server.disk.access_block(
+                    nbytes, pays_seek=pays_seek, is_read=True
+                )
+                yield store.put((pays_seek, nbytes))
+            yield store.put(None)
+
+        def read_net_stage():
+            while True:
+                item = yield store.get()
+                if item is None:
+                    return
+                _pays_seek, nbytes = item
+                yield from server.path.transfer(nbytes)
+
+        producer = env.process(read_disk_stage(), name="srv.disk")
+        consumer = env.process(read_net_stage(), name="srv.net")
+    else:
+
+        def write_net_stage():
+            for pays_seek, nbytes in blocks:
+                yield from server.path.transfer(nbytes)
+                yield store.put((pays_seek, nbytes))
+            yield store.put(None)
+
+        def write_disk_stage():
+            while True:
+                item = yield store.get()
+                if item is None:
+                    return
+                pays_seek, nbytes = item
+                yield from server.disk.access_block(
+                    nbytes, pays_seek=pays_seek, is_read=False
+                )
+
+        producer = env.process(write_net_stage(), name="srv.net")
+        consumer = env.process(write_disk_stage(), name="srv.disk")
+
+    yield env.all_of([producer, consumer])
+    if not request.is_read and server.path.latency():
+        # zero-byte ack rides the reverse latency
+        yield env.timeout(server.path.latency())
+    server.requests_served += 1

@@ -1,0 +1,35 @@
+"""Performance evaluation harness: §8 workloads, experiments, figures."""
+
+from .experiments import DEFAULT_COSTS, ExperimentResult, run_workload
+from .figures import (
+    FILE_LEVEL_CONFIGS,
+    PLACEMENT_CONFIGS,
+    FileLevelSeries,
+    PlacementSeries,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+)
+from .report import render_file_level, render_placement
+from .workloads import RankPlan, Workload, WorkloadSpec, build_workload
+
+__all__ = [
+    "WorkloadSpec",
+    "RankPlan",
+    "Workload",
+    "build_workload",
+    "ExperimentResult",
+    "run_workload",
+    "DEFAULT_COSTS",
+    "FileLevelSeries",
+    "PlacementSeries",
+    "FILE_LEVEL_CONFIGS",
+    "PLACEMENT_CONFIGS",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "render_file_level",
+    "render_placement",
+]

@@ -1,0 +1,202 @@
+r"""Regeneration of every figure in the paper's evaluation (§8).
+
+=========  ==============================================================
+Figure 11  file-level comparison, 8 compute nodes, 4 I/O nodes,
+           (\*, BLOCK) access, per storage class
+Figure 12  same at 16 compute nodes, 8 I/O nodes
+Figure 13  round-robin vs greedy placement, 8 compute / 8 I/O nodes,
+           half class 1 + half class 3, write & read
+Figure 14  same at 16 compute / 16 I/O nodes
+=========  ==============================================================
+
+Workload scaling: the paper's 32K×32K (256 MB) array is scaled to a
+2048×8192×8 B (128 MiB) array by default so a full sweep runs in tens
+of seconds; the request-count *ratios* that drive the effects are
+preserved (linear bricks = one array row, multidim bricks tile the
+array, array chunks = one per process), and the column count is chosen
+so every process's (\*, BLOCK) strip spans at least one brick column
+per I/O node at both figure scales — the paper's geometry has the same
+property.  Pass a larger ``array_shape`` for paper-sized request
+streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.placement import Greedy, RoundRobin
+from ..core.striping import FileLevel
+from ..netsim.classes import CLASS1, CLASS3, CLASSES, StorageClassParams
+from ..netsim.node import CostParams
+from .experiments import DEFAULT_COSTS, ExperimentResult, run_workload
+from .workloads import WorkloadSpec, build_workload
+
+__all__ = [
+    "FileLevelSeries",
+    "PlacementSeries",
+    "FILE_LEVEL_CONFIGS",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+]
+
+#: the six bar groups of Figs. 11/12, in the paper's order
+FILE_LEVEL_CONFIGS: list[tuple[str, FileLevel, bool]] = [
+    ("Linear", FileLevel.LINEAR, False),
+    ("Combined Linear", FileLevel.LINEAR, True),
+    ("Multi-dim", FileLevel.MULTIDIM, False),
+    ("Combined Multi-dim", FileLevel.MULTIDIM, True),
+    ("Array", FileLevel.ARRAY, False),
+    ("Combined Array", FileLevel.ARRAY, True),
+]
+
+
+@dataclass
+class FileLevelSeries:
+    """One Fig. 11/12-style dataset: class → config label → result."""
+
+    nprocs: int
+    nservers: int
+    results: dict[int, dict[str, ExperimentResult]] = field(default_factory=dict)
+
+    def bandwidth(self, storage_class: int, label: str) -> float:
+        return self.results[storage_class][label].bandwidth_mbps
+
+
+@dataclass
+class PlacementSeries:
+    """One Fig. 13/14-style dataset: algorithm → config label → result."""
+
+    nprocs: int
+    nservers: int
+    results: dict[str, dict[str, ExperimentResult]] = field(default_factory=dict)
+
+    def bandwidth(self, algorithm: str, label: str) -> float:
+        return self.results[algorithm][label].bandwidth_mbps
+
+
+def _file_level_figure(
+    nprocs: int,
+    nservers: int,
+    array_shape: tuple[int, int],
+    element_size: int,
+    brick_shape: tuple[int, int],
+    costs: CostParams,
+    storage_classes: tuple[int, ...] = (1, 2, 3),
+) -> FileLevelSeries:
+    series = FileLevelSeries(nprocs=nprocs, nservers=nservers)
+    for class_id in storage_classes:
+        params = CLASSES[class_id]
+        topology = [params] * nservers
+        per_class: dict[str, ExperimentResult] = {}
+        for label, level, combine in FILE_LEVEL_CONFIGS:
+            spec = WorkloadSpec(
+                level=level,
+                combine=combine,
+                nprocs=nprocs,
+                nservers=nservers,
+                array_shape=array_shape,
+                element_size=element_size,
+                brick_shape=brick_shape,
+                access_pattern="(*, BLOCK)",
+                is_read=True,
+            )
+            workload = build_workload(spec, RoundRobin(nservers))
+            per_class[label] = run_workload(workload, topology, costs)
+        series.results[class_id] = per_class
+    return series
+
+
+def figure11(
+    array_shape: tuple[int, int] = (2048, 8192),
+    element_size: int = 8,
+    brick_shape: tuple[int, int] = (64, 64),
+    costs: CostParams = DEFAULT_COSTS,
+) -> FileLevelSeries:
+    """Fig. 11: file-level comparison, 8 compute nodes, 4 I/O nodes."""
+    return _file_level_figure(
+        8, 4, array_shape, element_size, brick_shape, costs
+    )
+
+
+def figure12(
+    array_shape: tuple[int, int] = (2048, 8192),
+    element_size: int = 8,
+    brick_shape: tuple[int, int] = (64, 64),
+    costs: CostParams = DEFAULT_COSTS,
+) -> FileLevelSeries:
+    """Fig. 12: file-level comparison, 16 compute nodes, 8 I/O nodes."""
+    return _file_level_figure(
+        16, 8, array_shape, element_size, brick_shape, costs
+    )
+
+
+#: the four bar groups of Figs. 13/14, in the paper's order
+PLACEMENT_CONFIGS: list[tuple[str, bool, bool]] = [
+    ("Write", False, False),
+    ("Combined Write", False, True),
+    ("Read", True, False),
+    ("Combined Read", True, True),
+]
+
+
+def _placement_figure(
+    nprocs: int,
+    nservers: int,
+    array_shape: tuple[int, int],
+    element_size: int,
+    brick_shape: tuple[int, int],
+    costs: CostParams,
+) -> PlacementSeries:
+    """Half class-1, half class-3 servers; multidim file, (BLOCK, \\*)."""
+    if nservers % 2:
+        raise ValueError("placement figures want an even server count")
+    topology: list[StorageClassParams] = [CLASS1] * (nservers // 2) + [
+        CLASS3
+    ] * (nservers // 2)
+    performance = [p.performance for p in topology]
+    series = PlacementSeries(nprocs=nprocs, nservers=nservers)
+    for algorithm in ("round_robin", "greedy"):
+        per_algo: dict[str, ExperimentResult] = {}
+        for label, is_read, combine in PLACEMENT_CONFIGS:
+            spec = WorkloadSpec(
+                level=FileLevel.MULTIDIM,
+                combine=combine,
+                nprocs=nprocs,
+                nservers=nservers,
+                array_shape=array_shape,
+                element_size=element_size,
+                brick_shape=brick_shape,
+                access_pattern="(BLOCK, *)",
+                is_read=is_read,
+            )
+            policy = (
+                RoundRobin(nservers)
+                if algorithm == "round_robin"
+                else Greedy(performance)
+            )
+            workload = build_workload(spec, policy)
+            per_algo[label] = run_workload(workload, topology, costs)
+        series.results[algorithm] = per_algo
+    return series
+
+
+def figure13(
+    array_shape: tuple[int, int] = (2048, 8192),
+    element_size: int = 8,
+    brick_shape: tuple[int, int] = (64, 64),
+    costs: CostParams = DEFAULT_COSTS,
+) -> PlacementSeries:
+    """Fig. 13: round-robin vs greedy, 8 compute / 8 I/O nodes."""
+    return _placement_figure(8, 8, array_shape, element_size, brick_shape, costs)
+
+
+def figure14(
+    array_shape: tuple[int, int] = (2048, 8192),
+    element_size: int = 8,
+    brick_shape: tuple[int, int] = (64, 64),
+    costs: CostParams = DEFAULT_COSTS,
+) -> PlacementSeries:
+    """Fig. 14: round-robin vs greedy, 16 compute / 16 I/O nodes."""
+    return _placement_figure(16, 16, array_shape, element_size, brick_shape, costs)

@@ -1,0 +1,52 @@
+"""Text rendering of experiment results (the bench harness output)."""
+
+from __future__ import annotations
+
+from .figures import (
+    FILE_LEVEL_CONFIGS,
+    PLACEMENT_CONFIGS,
+    FileLevelSeries,
+    PlacementSeries,
+)
+
+__all__ = ["render_file_level", "render_placement"]
+
+
+def render_file_level(series: FileLevelSeries, title: str) -> str:
+    """ASCII table shaped like Figs. 11/12: rows = configs, cols = classes."""
+    labels = [label for label, _lvl, _c in FILE_LEVEL_CONFIGS]
+    classes = sorted(series.results)
+    width = max(len(label) for label in labels) + 2
+    lines = [
+        title,
+        f"({series.nprocs} compute nodes, {series.nservers} I/O nodes; "
+        "I/O bandwidth, MB/s)",
+        "-" * (width + 12 * len(classes)),
+        "".ljust(width) + "".join(f"Class {c}".rjust(12) for c in classes),
+    ]
+    for label in labels:
+        row = label.ljust(width)
+        for c in classes:
+            row += f"{series.results[c][label].bandwidth_mbps:12.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_placement(series: PlacementSeries, title: str) -> str:
+    """ASCII table shaped like Figs. 13/14: rows = configs, cols = algos."""
+    labels = [label for label, _r, _c in PLACEMENT_CONFIGS]
+    algos = ["round_robin", "greedy"]
+    width = max(len(label) for label in labels) + 2
+    lines = [
+        title,
+        f"({series.nprocs} compute nodes, {series.nservers} I/O nodes; "
+        "half class 1, half class 3; I/O bandwidth, MB/s)",
+        "-" * (width + 14 * len(algos)),
+        "".ljust(width) + "".join(a.rjust(14) for a in algos),
+    ]
+    for label in labels:
+        row = label.ljust(width)
+        for algo in algos:
+            row += f"{series.results[algo][label].bandwidth_mbps:14.2f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Workload generation for the §8 experiments.
+
+The crucial property: the request streams fed to the simulator are
+produced by the *same* code the functional file system uses — the §3
+striping methods, the §4.1 placement algorithms and the §4.2 request
+planner.  The simulator only prices those streams.
+
+Transfer granularity: for linear and multidimensional files the unit of
+access is the brick — a client fetches whole bricks and discards what
+it does not need ("only the first two elements of each brick are really
+useful, the second half will be discarded", §3.2).  Array-level chunks
+are whole bricks by construction.  ``useful_bytes`` tracks the data the
+application actually wanted, so bandwidth numbers match the paper's
+definition (application bytes / elapsed time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..core.brick import BrickMap, BrickSlice
+from ..core.combine import plan_requests
+from ..core.placement import PlacementPolicy, build_brick_map
+from ..core.striping import (
+    ArrayStriping,
+    FileLevel,
+    LinearStriping,
+    MultidimStriping,
+    StripingMethod,
+)
+from ..errors import ConfigError
+from ..hpf.distribution import decompose
+from ..hpf.regions import Region
+from ..netsim.node import WireRequest
+from ..util import coalesce_extents
+
+__all__ = ["WorkloadSpec", "RankPlan", "Workload", "build_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one §8 configuration."""
+
+    level: FileLevel
+    combine: bool
+    nprocs: int
+    nservers: int
+    #: logical array: shape in elements + element size in bytes
+    array_shape: tuple[int, int] = (2048, 2048)
+    element_size: int = 8
+    #: linear striping unit (bytes); default = one array row
+    linear_brick_size: int | None = None
+    #: multidim striping unit (elements)
+    brick_shape: tuple[int, int] = (64, 64)
+    #: HPF access pattern of the application processes
+    access_pattern: str = "(*, BLOCK)"
+    is_read: bool = True
+    #: stagger combined requests across servers (§4.2's schedule)
+    stagger: bool = True
+
+    def validate(self) -> "WorkloadSpec":
+        if self.nprocs < 1 or self.nservers < 1:
+            raise ConfigError("nprocs and nservers must be >= 1")
+        rows, cols = self.array_shape
+        if rows < 1 or cols < 1 or self.element_size < 1:
+            raise ConfigError("invalid array geometry")
+        return self
+
+    @property
+    def total_bytes(self) -> int:
+        rows, cols = self.array_shape
+        return rows * cols * self.element_size
+
+    def row_bytes(self) -> int:
+        return self.array_shape[1] * self.element_size
+
+
+@dataclass
+class RankPlan:
+    """The ordered wire requests one application process will issue."""
+
+    rank: int
+    requests: list[WireRequest] = field(default_factory=list)
+    useful_bytes: int = 0
+
+
+@dataclass
+class Workload:
+    """A complete experiment input."""
+
+    spec: WorkloadSpec
+    striping: StripingMethod
+    brick_map: BrickMap
+    plans: list[RankPlan]
+
+    @property
+    def useful_bytes(self) -> int:
+        return sum(p.useful_bytes for p in self.plans)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(p.requests) for p in self.plans)
+
+    @property
+    def transfer_bytes(self) -> int:
+        return sum(r.transfer_bytes for p in self.plans for r in p.requests)
+
+
+def _make_striping(spec: WorkloadSpec) -> StripingMethod:
+    if spec.level is FileLevel.LINEAR:
+        brick = spec.linear_brick_size or spec.row_bytes()
+        return LinearStriping(brick, spec.total_bytes)
+    if spec.level is FileLevel.MULTIDIM:
+        return MultidimStriping(spec.array_shape, spec.element_size, spec.brick_shape)
+    return ArrayStriping(
+        spec.array_shape, spec.element_size, spec.access_pattern, spec.nprocs
+    )
+
+
+def _rank_region(spec: WorkloadSpec, rank: int) -> Region:
+    return decompose(spec.array_shape, spec.access_pattern, spec.nprocs)[rank]
+
+
+def _region_slices(
+    spec: WorkloadSpec, striping: StripingMethod, region: Region
+) -> list[BrickSlice]:
+    """Slices a rank's access generates, via the level's natural addressing."""
+    if spec.level is FileLevel.LINEAR:
+        # A linear file is addressed as the flattened byte stream: the
+        # rank turns its 2-D region into per-row byte extents.
+        elem = spec.element_size
+        cols = spec.array_shape[1]
+        extents = []
+        for start_cell, run in region.rows():
+            offset = (start_cell[0] * cols + start_cell[1]) * elem
+            extents.append((offset, run * elem))
+        return striping.slices_for_extents(extents)
+    return striping.slices_for_region(region)
+
+
+def _brick_granular(
+    slices: Sequence[BrickSlice], brick_map: BrickMap
+) -> list[BrickSlice]:
+    """Round slices up to whole bricks, first-touch order, deduplicated."""
+    seen: set[int] = set()
+    out: list[BrickSlice] = []
+    payload = 0
+    for s in slices:
+        if s.brick_id in seen:
+            continue
+        seen.add(s.brick_id)
+        size = brick_map.location(s.brick_id).size
+        out.append(BrickSlice(s.brick_id, 0, size, payload))
+        payload += size
+    return out
+
+
+def build_workload(spec: WorkloadSpec, policy: PlacementPolicy) -> Workload:
+    """Assemble the full experiment input for one configuration."""
+    spec = spec.validate()
+    if policy.n_servers != spec.nservers:
+        raise ConfigError("placement policy server count mismatch")
+    striping = _make_striping(spec)
+    brick_map = build_brick_map(policy, striping.brick_sizes())
+
+    plans: list[RankPlan] = []
+    for rank in range(spec.nprocs):
+        region = _rank_region(spec, rank)
+        slices = _region_slices(spec, striping, region)
+        useful = region.volume * spec.element_size
+        # Whole-brick transfer granularity (see module docstring).  At
+        # the array level slices already are whole chunks.
+        granular = (
+            _brick_granular(slices, brick_map)
+            if spec.level in (FileLevel.LINEAR, FileLevel.MULTIDIM)
+            else slices
+        )
+        requests = plan_requests(
+            granular,
+            brick_map,
+            combine=spec.combine,
+            rank=rank,
+            stagger=spec.stagger,
+        )
+        plan = RankPlan(rank=rank, useful_bytes=useful)
+        for req in requests:
+            extents = tuple(coalesce_extents(req.extents))
+            plan.requests.append(
+                WireRequest(
+                    server=req.server,
+                    extents=extents,
+                    transfer_bytes=req.payload_bytes,
+                    is_read=spec.is_read,
+                )
+            )
+        plans.append(plan)
+    return Workload(spec=spec, striping=striping, brick_map=brick_map, plans=plans)

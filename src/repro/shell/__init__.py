@@ -1,0 +1,6 @@
+"""UNIX-like user interface for DPFS (§7)."""
+
+from .commands import COMMANDS, CommandError, run_command
+from .interpreter import Shell, ShellState
+
+__all__ = ["Shell", "ShellState", "COMMANDS", "CommandError", "run_command"]

@@ -1,0 +1,68 @@
+"""Shell state and REPL loop."""
+
+from __future__ import annotations
+
+import posixpath
+import sys
+from typing import TextIO
+
+from ..core.filesystem import DPFS
+from ..errors import DPFSError
+from .commands import run_command
+
+__all__ = ["ShellState", "Shell"]
+
+
+class ShellState:
+    """Working directory + file system reference shared by commands."""
+
+    def __init__(self, fs: DPFS, cwd: str = "/") -> None:
+        self.fs = fs
+        self.cwd = cwd
+
+    def resolve(self, path: str) -> str:
+        """Resolve a possibly-relative DPFS path against the cwd."""
+        if not path.startswith("/"):
+            path = posixpath.join(self.cwd, path)
+        norm = posixpath.normpath(path)
+        return norm if norm.startswith("/") else "/" + norm
+
+
+class Shell:
+    """Line-oriented interpreter; usable programmatically or as a REPL."""
+
+    def __init__(self, fs: DPFS, cwd: str = "/") -> None:
+        self.state = ShellState(fs, cwd)
+
+    def run_line(self, line: str) -> str:
+        """Run one command line, returning its output (raises on error)."""
+        return run_command(self.state, line)
+
+    def run_script(self, lines: list[str]) -> list[str]:
+        """Run several lines; collects outputs, stops at the first error."""
+        return [self.run_line(line) for line in lines]
+
+    def repl(
+        self,
+        stdin: TextIO = sys.stdin,
+        stdout: TextIO = sys.stdout,
+    ) -> None:
+        """Interactive loop: ``dpfs shell``."""
+        stdout.write("DPFS shell — 'help' lists commands, 'exit' leaves.\n")
+        while True:
+            stdout.write(f"dpfs:{self.state.cwd}$ ")
+            stdout.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            line = line.strip()
+            if line in ("exit", "quit"):
+                break
+            if not line:
+                continue
+            try:
+                output = self.run_line(line)
+            except DPFSError as exc:
+                output = f"error: {exc}"
+            if output:
+                stdout.write(output + "\n")

@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel (mini-SimPy).
+
+Public surface::
+
+    from repro.sim import Environment, Resource, Store
+
+    env = Environment()
+    env.process(my_generator(env))
+    env.run()
+"""
+
+from .core import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
+from .monitor import Tally, TimeWeighted, Trace
+from .resources import Container, PriorityResource, Request, Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Store",
+    "Container",
+    "Tally",
+    "TimeWeighted",
+    "Trace",
+]

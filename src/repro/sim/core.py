@@ -1,0 +1,372 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free process-based simulator in the style of
+SimPy: simulation *processes* are Python generators that ``yield``
+events (timeouts, resource requests, other processes) and are resumed
+by the :class:`Environment` event loop when those events fire.
+
+The DPFS performance harness (:mod:`repro.netsim`, :mod:`repro.perf`)
+builds compute nodes, servers, network links and disks as processes and
+resources on top of this kernel.
+
+Example::
+
+    env = Environment()
+
+    def worker(env, disk):
+        with disk.request() as req:
+            yield req
+            yield env.timeout(0.005)      # seek + transfer
+
+    disk = Resource(env, capacity=1)
+    env.process(worker(env, disk))
+    env.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Generator
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* (scheduled) by :meth:`succeed` or
+    :meth:`fail` and *processed* when the environment pops it from the
+    event queue and runs its callbacks.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before it was triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, resuming waiters with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception thrown into waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; itself an event that fires when the generator ends.
+
+    ``yield``-able values inside the generator must be :class:`Event`
+    instances (timeouts, resource requests, other processes...).
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self, env: "Environment", generator: Generator, name: str | None = None
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick-start on the next event-loop iteration.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self._waiting_on is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Deliver asynchronously through a failed event so that the
+        # interrupt arrives via the normal resume path.
+        waited = self._waiting_on
+        if waited is not None and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        evt = Event(self.env)
+        evt.callbacks.append(self._resume)
+        evt.fail(Interrupt(cause))
+
+    # -- engine ---------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, SimStoppedSignal):
+                raise
+            if not self._triggered:
+                self.fail(exc)
+            else:  # pragma: no cover - defensive
+                raise
+            return
+
+        if not isinstance(target, Event):
+            # Push the error into the generator so user code sees a clear
+            # traceback at the offending yield.
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            try:
+                self._generator.throw(exc)
+            except StopIteration:
+                self.succeed(None)
+            except BaseException as err:
+                self.fail(err)
+            return
+
+        self._waiting_on = target
+        if target.callbacks is None:
+            # Already processed: resume immediately on next loop turn.
+            bridge = Event(self.env)
+            bridge.callbacks.append(self._resume)
+            if target.ok:
+                bridge.succeed(target._value)
+            else:
+                bridge.fail(target._value)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: list[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        for evt in self.events:
+            if evt.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for evt in self.events:
+            if evt.callbacks is None:
+                self._check(evt)
+            else:
+                evt.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value maps event -> value."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed({evt: evt._value for evt in self.events})
+
+
+class AnyOf(_Condition):
+    """Fires as soon as one child fires; value maps that event -> value."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self.succeed({event: event._value})
+
+
+class SimStoppedSignal(BaseException):
+    """Internal control-flow signal used by Environment.run(until=...)."""
+
+
+class Environment:
+    """The event loop: a clock plus a priority queue of triggered events."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self.active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention in this repo)."""
+        return self._now
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event._ok:
+            # An un-waited-for failure must not pass silently.
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be ``None`` (drain), a number (advance the clock to
+        that time), or an :class:`Event` (run until it is processed and
+        return its value).
+        """
+        stop_event: Event | None = None
+        deadline: float | None = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"run(until={deadline}) is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if deadline is not None and self.peek() > deadline:
+                self._now = deadline
+                return None
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event._value
+                return stop_event._value
+
+        if stop_event is not None and not stop_event.processed:
+            raise SimulationError(
+                "run(until=event): queue drained before the event fired"
+            )
+        if deadline is not None:
+            self._now = deadline
+        return None

@@ -1,0 +1,111 @@
+"""Statistics collection for simulation runs.
+
+:class:`Tally` accumulates scalar observations (request latencies, queue
+waits) without storing every sample; :class:`TimeWeighted` tracks a
+piecewise-constant level (queue length, utilization) integrated over
+simulated time; :class:`Trace` keeps raw (time, value) samples for
+debugging and plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .core import Environment
+
+__all__ = ["Tally", "TimeWeighted", "Trace"]
+
+
+class Tally:
+    """Streaming count/mean/variance/min/max of scalar observations."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0 if self.count == 1 else math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        var = self.variance
+        return math.sqrt(var) if var == var else math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tally({self.name!r}, n={self.count}, mean={self.mean:.6g}, "
+            f"min={self.minimum:.6g}, max={self.maximum:.6g})"
+        )
+
+
+class TimeWeighted:
+    """Time-integral of a piecewise-constant level (e.g. queue length)."""
+
+    def __init__(self, env: Environment, initial: float = 0.0, name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._level = initial
+        self._last_change = env.now
+        self._area = 0.0
+        self._start = env.now
+        self.maximum = initial
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def set(self, level: float) -> None:
+        now = self.env.now
+        self._area += self._level * (now - self._last_change)
+        self._level = level
+        self._last_change = now
+        self.maximum = max(self.maximum, level)
+
+    def add(self, delta: float) -> None:
+        self.set(self._level + delta)
+
+    def time_average(self) -> float:
+        elapsed = self.env.now - self._start
+        if elapsed <= 0:
+            return self._level
+        area = self._area + self._level * (self.env.now - self._last_change)
+        return area / elapsed
+
+
+@dataclass
+class Trace:
+    """Raw (time, value) sample log."""
+
+    name: str = ""
+    samples: list[tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    def values(self) -> list[float]:
+        return [v for _t, v in self.samples]
+
+    def times(self) -> list[float]:
+        return [t for t, _v in self.samples]

@@ -1,0 +1,244 @@
+"""Shared-resource primitives for the simulation kernel.
+
+:class:`Resource`
+    A server with fixed capacity and a FIFO wait queue — models a disk
+    (capacity 1: the paper's "I/O has to be sequentialized locally"), a
+    network link, or a bounded thread pool.
+
+:class:`PriorityResource`
+    Same, but waiters carry a priority (lower first).
+
+:class:`Store`
+    An unbounded (or bounded) FIFO queue of items — models a server's
+    inbound request mailbox.
+
+:class:`Container`
+    A counter of continuous "stuff" with put/get — models buffer space.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any
+
+from ..errors import SimulationError
+from .core import Environment, Event
+
+__all__ = ["Request", "Resource", "PriorityResource", "Store", "Container"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; usable as a context manager."""
+
+    __slots__ = ("resource", "priority")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """FIFO resource with integral capacity.
+
+    Usage inside a process::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self._waiters: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            # Releasing a still-queued (never granted) request cancels it.
+            try:
+                self._waiters.remove(request)
+            except ValueError:
+                pass
+
+    def _grant_next(self) -> None:
+        while self._waiters and len(self.users) < self.capacity:
+            nxt = self._waiters.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest-priority-value first."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: list[tuple[float, int, Request]] = []
+        self._seq = itertools.count()
+
+    def request(self, priority: float = 0.0) -> Request:  # type: ignore[override]
+        req = Request(self, priority)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            heapq.heappush(self._heap, (priority, next(self._seq), req))
+        return req
+
+    def release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            self._heap = [entry for entry in self._heap if entry[2] is not request]
+            heapq.heapify(self._heap)
+
+    def _grant_next(self) -> None:
+        while self._heap and len(self.users) < self.capacity:
+            _prio, _seq, nxt = heapq.heappop(self._heap)
+            self.users.append(nxt)
+            nxt.succeed()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+
+class Store:
+    """FIFO item queue with optional capacity bound.
+
+    ``put(item)`` and ``get()`` both return events to ``yield`` on.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        evt = Event(self.env)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            evt.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append((evt, item))
+        return evt
+
+    def get(self) -> Event:
+        evt = Event(self.env)
+        if self.items:
+            evt.succeed(self.items.popleft())
+            self._serve_putters()
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def _serve_getters(self) -> None:
+        while self._getters and self.items:
+            self._getters.popleft().succeed(self.items.popleft())
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            evt, item = self._putters.popleft()
+            self.items.append(item)
+            evt.succeed()
+            self._serve_getters()
+
+
+class Container:
+    """Continuous quantity with blocking put/get (e.g. buffer bytes)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("container init outside [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise SimulationError("container put amount must be positive")
+        evt = Event(self.env)
+        self._putters.append((evt, amount))
+        self._settle()
+        return evt
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise SimulationError("container get amount must be positive")
+        evt = Event(self.env)
+        self._getters.append((evt, amount))
+        self._settle()
+        return evt
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                evt, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.popleft()
+                    evt.succeed()
+                    progressed = True
+            if self._getters:
+                evt, amount = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.popleft()
+                    evt.succeed()
+                    progressed = True

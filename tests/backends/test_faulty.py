@@ -1,0 +1,99 @@
+"""Fault injection: errors surface cleanly, metadata stays consistent."""
+
+import numpy as np
+import pytest
+
+from repro.backends import MemoryBackend
+from repro.backends.faulty import FaultyBackend, InjectedFault
+from repro.core import DPFS, Hint
+
+
+@pytest.fixture
+def faulty():
+    return FaultyBackend(MemoryBackend(4))
+
+
+@pytest.fixture
+def fs(faulty):
+    return DPFS(faulty)
+
+
+def test_fail_next_fires_once(faulty):
+    faulty.create_subfile(0, "/f")
+    faulty.fail_next("read")
+    with pytest.raises(InjectedFault):
+        faulty.read_extents(0, "/f", [(0, 1)])
+    assert faulty.read_extents(0, "/f", [(0, 1)]) == b"\x00"
+    assert faulty.faults_fired["read"] == 1
+
+
+def test_fail_on_until_heal(faulty):
+    faulty.create_subfile(1, "/f")
+    faulty.fail_on("write", server=1)
+    for _ in range(3):
+        with pytest.raises(InjectedFault):
+            faulty.write_extents(1, "/f", [(0, 1)], b"x")
+    # other servers unaffected
+    faulty.create_subfile(0, "/f")
+    faulty.write_extents(0, "/f", [(0, 1)], b"x")
+    faulty.heal()
+    faulty.write_extents(1, "/f", [(0, 1)], b"x")
+
+
+def test_read_fault_propagates_through_handle(fs, faulty):
+    fs.write_file("/f", b"payload" * 100)
+    faulty.fail_next("read")
+    with fs.open("/f", "r") as handle:
+        with pytest.raises(InjectedFault):
+            handle.read(0, 100)
+        # retryable: the next read succeeds and is correct
+        assert handle.read(0, 7) == b"payload"
+
+
+def test_write_fault_leaves_metadata_consistent(fs, faulty):
+    """A mid-write storage fault must not corrupt the namespace: the
+    file stays readable and its metadata loads."""
+    hint = Hint.multidim((32, 32), 8, (8, 8))
+    data = np.zeros((32, 32))
+    with fs.open("/f", "w", hint=hint) as handle:
+        handle.write_array((0, 0), data)
+    faulty.fail_next("write")
+    with fs.open("/f", "r+") as handle:
+        with pytest.raises(InjectedFault):
+            handle.write_array((0, 0), np.ones((32, 32)))
+    # metadata still loads; file still readable (possibly partially new)
+    record, bmap = fs.meta.load_file("/f")
+    assert record.size == 32 * 32 * 8
+    with fs.open("/f", "r") as handle:
+        got = handle.read_array((0, 0), (32, 32), np.float64)
+    assert got.shape == (32, 32)
+
+
+def test_create_fault_aborts_cleanly(fs, faulty):
+    """If subfile creation fails after metadata insertion, the file is
+    visible but unusable — removing it recovers fully."""
+    faulty.fail_next("create")
+    with pytest.raises(InjectedFault):
+        fs.write_file("/doomed", b"x" * 10)
+    # recovery path: rm works even with some subfiles missing
+    if fs.exists("/doomed"):
+        fs.remove("/doomed")
+    assert not fs.exists("/doomed")
+    # and the namespace is reusable
+    fs.write_file("/doomed", b"fresh")
+    assert fs.read_file("/doomed") == b"fresh"
+
+
+def test_per_server_fault_with_combination(fs, faulty):
+    """Only requests hitting the broken server fail; stats still sane."""
+    fs.write_file(
+        "/f", bytes(4096), hint=Hint.linear(file_size=4096, brick_size=256)
+    )
+    faulty.fail_on("read", server=2)
+    with fs.open("/f", "r", combine=False) as handle:
+        with pytest.raises(InjectedFault):
+            handle.read(0, 4096)
+        # requests to servers before the failure were recorded
+        assert handle.stats.requests >= 1
+    faulty.heal()
+    assert fs.read_file("/f") == bytes(4096)

@@ -1,0 +1,85 @@
+"""Local-directory backend tests (incl. subfile-name escaping)."""
+
+import pytest
+
+from repro.backends import LocalBackend
+from repro.backends.local import escape_subfile_name
+from repro.errors import FileSystemError
+
+
+@pytest.fixture
+def backend(tmp_path):
+    b = LocalBackend(tmp_path, 2)
+    b.create_subfile(0, "/home/user/f")
+    return b
+
+
+def test_escape_injective_and_flat():
+    cases = ["/a/b", "/a__b", "a%2Fb", "%", "/", "plain"]
+    escaped = [escape_subfile_name(c) for c in cases]
+    assert len(set(escaped)) == len(cases)
+    for e in escaped:
+        assert "/" not in e
+    with pytest.raises(FileSystemError):
+        escape_subfile_name("bad\x00name")
+
+
+def test_server_directories_created(tmp_path):
+    LocalBackend(tmp_path, 3)
+    for i in range(3):
+        assert (tmp_path / f"server_{i}").is_dir()
+
+
+def test_write_read_roundtrip(backend):
+    backend.write_extents(0, "/home/user/f", [(0, 5), (100, 3)], b"hellobye")
+    assert backend.read_extents(0, "/home/user/f", [(0, 5)]) == b"hello"
+    assert backend.read_extents(0, "/home/user/f", [(100, 3)]) == b"bye"
+    assert backend.read_extents(0, "/home/user/f", [(50, 4)]) == b"\x00" * 4
+
+
+def test_subfile_size_grows(backend):
+    assert backend.subfile_size(0, "/home/user/f") == 0
+    backend.write_extents(0, "/home/user/f", [(64, 4)], b"data")
+    assert backend.subfile_size(0, "/home/user/f") == 68
+
+
+def test_read_past_physical_end(backend):
+    backend.write_extents(0, "/home/user/f", [(0, 2)], b"ab")
+    assert backend.read_extents(0, "/home/user/f", [(0, 6)]) == b"ab\x00\x00\x00\x00"
+
+
+def test_missing_subfile_rejected(backend):
+    with pytest.raises(FileSystemError):
+        backend.read_extents(1, "/home/user/f", [(0, 1)])
+    with pytest.raises(FileSystemError):
+        backend.write_extents(0, "/ghost", [(0, 1)], b"x")
+
+
+def test_delete(backend):
+    backend.delete_subfile(0, "/home/user/f")
+    assert not backend.subfile_exists(0, "/home/user/f")
+    backend.delete_subfile(0, "/home/user/f")  # idempotent
+
+
+def test_wipe(tmp_path):
+    b = LocalBackend(tmp_path / "x", 2)
+    b.create_subfile(0, "/a")
+    b.create_subfile(1, "/b")
+    b.wipe()
+    assert not b.subfile_exists(0, "/a")
+    assert not b.subfile_exists(1, "/b")
+
+
+def test_persists_across_instances(tmp_path):
+    b1 = LocalBackend(tmp_path, 1)
+    b1.create_subfile(0, "/f")
+    b1.write_extents(0, "/f", [(0, 4)], b"keep")
+    b2 = LocalBackend(tmp_path, 1)
+    assert b2.read_extents(0, "/f", [(0, 4)]) == b"keep"
+
+
+def test_performance_numbers(tmp_path):
+    b = LocalBackend(tmp_path, 2, performance=[1.0, 3.0])
+    assert [s.performance for s in b.servers] == [1.0, 3.0]
+    with pytest.raises(FileSystemError):
+        LocalBackend(tmp_path, 2, performance=[1.0])

@@ -1,0 +1,86 @@
+"""Memory backend tests."""
+
+import pytest
+
+from repro.backends import MemoryBackend
+from repro.errors import FileSystemError
+
+
+@pytest.fixture
+def backend():
+    b = MemoryBackend(3)
+    b.create_subfile(0, "/f")
+    return b
+
+
+def test_server_info_defaults():
+    b = MemoryBackend(2, performance=[1.0, 2.5])
+    assert b.n_servers == 2
+    assert [s.performance for s in b.servers] == [1.0, 2.5]
+    assert b.servers[0].name == "mem0"
+
+
+def test_bad_construction():
+    with pytest.raises(FileSystemError):
+        MemoryBackend(0)
+    with pytest.raises(FileSystemError):
+        MemoryBackend(2, performance=[1.0])
+    with pytest.raises(FileSystemError):
+        MemoryBackend(2, names=["only-one"])
+
+
+def test_create_idempotent(backend):
+    backend.create_subfile(0, "/f")
+    assert backend.subfile_exists(0, "/f")
+    assert backend.subfile_size(0, "/f") == 0
+
+
+def test_write_then_read_extents(backend):
+    backend.write_extents(0, "/f", [(0, 3), (10, 2)], b"abcXY")
+    assert backend.read_extents(0, "/f", [(0, 3)]) == b"abc"
+    assert backend.read_extents(0, "/f", [(10, 2)]) == b"XY"
+    # gap is zero-filled
+    assert backend.read_extents(0, "/f", [(3, 7)]) == b"\x00" * 7
+
+
+def test_read_past_end_zero_filled(backend):
+    backend.write_extents(0, "/f", [(0, 2)], b"hi")
+    assert backend.read_extents(0, "/f", [(0, 5)]) == b"hi\x00\x00\x00"
+
+
+def test_extent_order_preserved(backend):
+    backend.write_extents(0, "/f", [(5, 2), (0, 2)], b"BBAA")
+    assert backend.read_extents(0, "/f", [(0, 2), (5, 2)]) == b"AABB"
+
+
+def test_payload_length_checked(backend):
+    with pytest.raises(FileSystemError):
+        backend.write_extents(0, "/f", [(0, 4)], b"xy")
+
+
+def test_missing_subfile_rejected(backend):
+    with pytest.raises(FileSystemError):
+        backend.read_extents(1, "/f", [(0, 1)])
+    with pytest.raises(FileSystemError):
+        backend.write_extents(1, "/f", [(0, 1)], b"x")
+    with pytest.raises(FileSystemError):
+        backend.subfile_size(1, "/f")
+
+
+def test_bad_server_index(backend):
+    with pytest.raises(FileSystemError):
+        backend.create_subfile(3, "/f")
+
+
+def test_delete_idempotent(backend):
+    backend.delete_subfile(0, "/f")
+    assert not backend.subfile_exists(0, "/f")
+    backend.delete_subfile(0, "/f")
+
+
+def test_servers_isolated(backend):
+    backend.create_subfile(1, "/f")
+    backend.write_extents(0, "/f", [(0, 1)], b"a")
+    backend.write_extents(1, "/f", [(0, 1)], b"b")
+    assert backend.read_extents(0, "/f", [(0, 1)]) == b"a"
+    assert backend.read_extents(1, "/f", [(0, 1)]) == b"b"

@@ -1,0 +1,153 @@
+"""Mini-MPI runtime tests: collectives, point-to-point, failure handling."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Communicator, ParallelError, run_parallel
+from repro.core import DPFS, Hint
+from repro.errors import DPFSError
+from repro.hpf import decompose
+
+
+def test_single_rank():
+    assert run_parallel(lambda comm: comm.rank, 1) == [0]
+
+
+def test_rank_and_size():
+    results = run_parallel(lambda comm: (comm.rank, comm.size), 5)
+    assert results == [(r, 5) for r in range(5)]
+
+
+def test_bcast_from_each_root():
+    def prog(comm):
+        out = []
+        for root in range(comm.size):
+            value = f"from{root}" if comm.rank == root else None
+            out.append(comm.bcast(value, root=root))
+        return out
+
+    results = run_parallel(prog, 3)
+    for r in results:
+        assert r == ["from0", "from1", "from2"]
+
+
+def test_scatter_gather_roundtrip():
+    def prog(comm):
+        part = comm.scatter(
+            [i * i for i in range(comm.size)] if comm.rank == 0 else None
+        )
+        return comm.gather(part + 1)
+
+    results = run_parallel(prog, 4)
+    assert results[0] == [1, 2, 5, 10]
+    assert results[1] is None
+
+
+def test_scatter_arity_checked():
+    def prog(comm):
+        return comm.scatter([1, 2] if comm.rank == 0 else None)
+
+    with pytest.raises(ParallelError):
+        run_parallel(prog, 3)
+
+
+def test_allgather_and_allreduce():
+    def prog(comm):
+        everyone = comm.allgather(comm.rank)
+        total = comm.allreduce(comm.rank)
+        biggest = comm.allreduce(comm.rank, op=max)
+        return everyone, total, biggest
+
+    for everyone, total, biggest in run_parallel(prog, 6):
+        assert everyone == list(range(6))
+        assert total == 15
+        assert biggest == 5
+
+
+def test_repeated_collectives_no_crosstalk():
+    """Back-to-back same-kind collectives must not mix values."""
+
+    def prog(comm):
+        outs = []
+        for i in range(20):
+            outs.append(comm.allgather((i, comm.rank)))
+        return outs
+
+    for rank_out in run_parallel(prog, 4):
+        for i, row in enumerate(rank_out):
+            assert row == [(i, r) for r in range(4)]
+
+
+def test_send_recv_ring():
+    def prog(comm):
+        comm.send(f"token{comm.rank}", dest=(comm.rank + 1) % comm.size)
+        return comm.recv(source=(comm.rank - 1) % comm.size, timeout=5)
+
+    results = run_parallel(prog, 4)
+    assert results == ["token3", "token0", "token1", "token2"]
+
+
+def test_recv_filters_by_tag():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("a", dest=1, tag=7)
+            comm.send("b", dest=1, tag=9)
+            return None
+        if comm.rank == 1:
+            second = comm.recv(source=0, tag=9, timeout=5)
+            first = comm.recv(source=0, tag=7, timeout=5)
+            return (first, second)
+        return None
+
+    results = run_parallel(prog, 2)
+    assert results[1] == ("a", "b")
+
+
+def test_rank_failure_propagates():
+    def prog(comm):
+        if comm.rank == 2:
+            raise ValueError("rank 2 exploded")
+        comm.barrier()
+        return "ok"
+
+    with pytest.raises(ParallelError) as err:
+        run_parallel(prog, 4)
+    assert 2 in err.value.failures
+    assert isinstance(err.value.failures[2], ValueError)
+
+
+def test_invalid_nprocs():
+    with pytest.raises(DPFSError):
+        run_parallel(lambda comm: None, 0)
+
+
+def test_parallel_dpfs_program():
+    """A real SPMD program over DPFS: rank 0 scatters work, every rank
+    writes its (BLOCK, *) piece, rank 0 validates the assembled file."""
+    fs = DPFS.memory(4)
+    shape = (32, 32)
+    hint = Hint.multidim(shape, 8, (8, 8))
+    expected = np.arange(32 * 32, dtype=np.float64).reshape(shape)
+
+    def prog(comm, fs):
+        regions = decompose(shape, "(BLOCK, *)", comm.size)
+        if comm.rank == 0:
+            with fs.open("/field", "w", hint=hint) as handle:
+                handle.write_array((0, 0), np.zeros(shape))
+            parts = [
+                expected[r.starts[0] : r.stops[0], :] for r in regions
+            ]
+        else:
+            parts = None
+        mine = comm.scatter(parts)
+        region = regions[comm.rank]
+        with fs.open("/field", "r+", rank=comm.rank) as handle:
+            handle.write_array(region.starts, mine)
+        comm.barrier()
+        if comm.rank == 0:
+            with fs.open("/field", "r") as handle:
+                got = handle.read_array((0, 0), shape, np.float64)
+            return bool(np.array_equal(got, expected))
+        return True
+
+    assert all(run_parallel(prog, 8, fs))

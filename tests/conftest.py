@@ -1,0 +1,39 @@
+"""Shared fixtures for the DPFS test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DPFS, Hint
+
+
+@pytest.fixture
+def fs() -> DPFS:
+    """Fresh in-memory DPFS with 4 equal servers."""
+    return DPFS.memory(n_servers=4)
+
+
+@pytest.fixture
+def fs_hetero() -> DPFS:
+    """In-memory DPFS with heterogeneous performance numbers (1,1,3,3)."""
+    return DPFS.memory(n_servers=4, performance=[1.0, 1.0, 3.0, 3.0])
+
+
+@pytest.fixture
+def local_fs(tmp_path) -> DPFS:
+    """Directory-backed DPFS with a durable metadata database."""
+    instance = DPFS.local(tmp_path / "dpfs", n_servers=3)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def small_array() -> np.ndarray:
+    rng = np.random.default_rng(42)
+    return rng.random((64, 64))
+
+
+@pytest.fixture
+def multidim_hint() -> Hint:
+    return Hint.multidim((64, 64), 8, (16, 16))

@@ -1,0 +1,85 @@
+"""Unit tests for bricks and brick maps."""
+
+import pytest
+
+from repro.core import BrickMap, BrickSlice
+from repro.errors import PlacementError
+
+
+def test_brick_slice_validation():
+    BrickSlice(0, 0, 1, 0)
+    with pytest.raises(PlacementError):
+        BrickSlice(-1, 0, 1, 0)
+    with pytest.raises(PlacementError):
+        BrickSlice(0, 0, 0, 0)  # zero length
+    with pytest.raises(PlacementError):
+        BrickSlice(0, -1, 1, 0)
+
+
+def test_append_assigns_subfile_offsets():
+    bmap = BrickMap(n_servers=2)
+    a = bmap.append(0, 100)
+    b = bmap.append(1, 100)
+    c = bmap.append(0, 100)
+    assert (a.local_offset, b.local_offset, c.local_offset) == (0, 0, 100)
+    assert bmap.subfile_size(0) == 200
+    assert bmap.subfile_size(1) == 100
+
+
+def test_variable_brick_sizes():
+    bmap = BrickMap(n_servers=1)
+    bmap.append(0, 10)
+    bmap.append(0, 30)
+    bmap.append(0, 5)
+    assert [loc.local_offset for loc in bmap.locations] == [0, 10, 40]
+    assert bmap.subfile_size(0) == 45
+
+
+def test_bricklist_in_subfile_order():
+    bmap = BrickMap(n_servers=2)
+    for i in range(6):
+        bmap.append(i % 2, 10)
+    assert bmap.bricklist(0) == [0, 2, 4]
+    assert bmap.bricklist(1) == [1, 3, 5]
+
+
+def test_bricks_per_server():
+    bmap = BrickMap(n_servers=3)
+    for server in [0, 0, 1, 2, 2, 2]:
+        bmap.append(server, 1)
+    assert bmap.bricks_per_server() == [2, 1, 3]
+
+
+def test_location_out_of_range_rejected():
+    bmap = BrickMap(n_servers=1)
+    bmap.append(0, 1)
+    with pytest.raises(PlacementError):
+        bmap.location(1)
+
+
+def test_append_bad_server_rejected():
+    bmap = BrickMap(n_servers=2)
+    with pytest.raises(PlacementError):
+        bmap.append(2, 1)
+    with pytest.raises(PlacementError):
+        bmap.append(0, 0)
+
+
+def test_roundtrip_through_lists():
+    bmap = BrickMap(n_servers=3)
+    sizes = [10, 20, 30, 40, 50]
+    for i, size in enumerate(sizes):
+        bmap.append(i % 3, size)
+    rebuilt = BrickMap.from_lists(bmap.to_lists(), sizes)
+    assert len(rebuilt) == len(bmap)
+    for brick_id in range(len(sizes)):
+        assert rebuilt.location(brick_id) == bmap.location(brick_id)
+
+
+def test_from_lists_validates_permutation():
+    with pytest.raises(PlacementError):
+        BrickMap.from_lists([[0, 1], [1]], [10, 10, 10])  # brick 1 twice
+    with pytest.raises(PlacementError):
+        BrickMap.from_lists([[0], [2]], [10, 10, 10])  # brick 1 missing
+    with pytest.raises(PlacementError):
+        BrickMap.from_lists([[0]], [10, 10])  # size count mismatch

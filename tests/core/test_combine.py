@@ -1,0 +1,122 @@
+"""Request combination and scheduling tests (§4.2)."""
+
+import pytest
+
+from repro.core import (
+    BrickSlice,
+    LinearStriping,
+    RoundRobin,
+    build_brick_map,
+    plan_requests,
+)
+from repro.errors import DPFSError
+
+
+def _setup(n_bricks=32, n_servers=4, brick=10):
+    striping = LinearStriping(brick, n_bricks * brick)
+    bmap = build_brick_map(RoundRobin(n_servers), striping.brick_sizes())
+    return striping, bmap
+
+
+def test_uncombined_one_request_per_slice():
+    striping, bmap = _setup()
+    slices = striping.slices_for_extents([(0, 80)])  # bricks 0..7
+    plan = plan_requests(slices, bmap, combine=False)
+    assert len(plan) == 8
+    assert [r.server for r in plan] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_combined_one_request_per_server():
+    """The paper's example: processor 0 reads bricks 0-7 over 4 devices —
+    combination folds 8 requests into 4 (bricks {0,4}, {1,5}, ...)."""
+    striping, bmap = _setup()
+    slices = striping.slices_for_extents([(0, 80)])
+    plan = plan_requests(slices, bmap, combine=True, rank=0)
+    assert len(plan) == 4
+    by_server = {r.server: sorted(set(r.brick_ids)) for r in plan}
+    assert by_server == {0: [0, 4], 1: [1, 5], 2: [2, 6], 3: [3, 7]}
+
+
+def test_stagger_rotates_start_server():
+    """Processor p starts from subfile (p mod S), as §4.2 schedules."""
+    striping, bmap = _setup()
+    slices = striping.slices_for_extents([(0, 320)])  # all bricks
+    for rank in range(8):
+        plan = plan_requests(slices, bmap, combine=True, rank=rank)
+        assert plan[0].server == rank % 4
+        assert [r.server for r in plan] == [
+            (rank + i) % 4 for i in range(4)
+        ]
+
+
+def test_paper_stagger_example():
+    """Fig. 3 file: proc 0 starts at subfile-0 (bricks 0,4), proc 1 at
+    subfile-1 (bricks 9,13), proc 2 at subfile-2 (18,22), proc 3 at
+    subfile-3 (27,31)."""
+    striping, bmap = _setup()
+    expectations = {
+        0: (0, [0, 4]),
+        1: (1, [9, 13]),
+        2: (2, [18, 22]),
+        3: (3, [27, 31]),
+    }
+    for rank, (server, bricks) in expectations.items():
+        lo = rank * 80
+        slices = striping.slices_for_extents([(lo, 80)])
+        plan = plan_requests(slices, bmap, combine=True, rank=rank)
+        assert plan[0].server == server
+        assert sorted(set(plan[0].brick_ids)) == bricks
+
+
+def test_no_stagger_keeps_server_order():
+    striping, bmap = _setup()
+    slices = striping.slices_for_extents([(0, 320)])
+    plan = plan_requests(slices, bmap, combine=True, rank=2, stagger=False)
+    assert [r.server for r in plan] == [0, 1, 2, 3]
+
+
+def test_extents_are_physical_subfile_offsets():
+    striping, bmap = _setup()
+    slices = striping.slices_for_extents([(0, 80)])
+    plan = plan_requests(slices, bmap, combine=True, rank=0)
+    srv0 = plan[0]
+    # bricks 0 and 4 sit at subfile offsets 0 and 10 on server 0
+    assert srv0.extents == [(0, 10), (10, 10)]
+    assert srv0.coalesced_extents == [(0, 20)]
+    assert srv0.payload_bytes == 20
+
+
+def test_payload_mapping_preserved():
+    striping, bmap = _setup()
+    slices = striping.slices_for_extents([(5, 20)])  # partial bricks 0..2
+    plan = plan_requests(slices, bmap, combine=True, rank=0)
+    total = sum(p.slice.length for r in plan for p in r.placements)
+    assert total == 20
+    buffer_offsets = sorted(
+        p.slice.buffer_offset for r in plan for p in r.placements
+    )
+    assert buffer_offsets[0] == 0
+
+
+def test_slice_exceeding_brick_rejected():
+    _striping, bmap = _setup()
+    bad = [BrickSlice(0, 5, 10, 0)]  # brick size is 10, 5+10 > 10
+    with pytest.raises(DPFSError):
+        plan_requests(bad, bmap, combine=True)
+
+
+def test_empty_slices_empty_plan():
+    _striping, bmap = _setup()
+    assert plan_requests([], bmap, combine=True) == []
+    assert plan_requests([], bmap, combine=False) == []
+
+
+def test_combined_request_count_paper_claim():
+    """§4.2: 'there are only 4 requests needed for each processor, much
+    smaller than 8 requests of general approach'."""
+    striping, bmap = _setup()
+    for rank in range(4):
+        lo = rank * 80
+        slices = striping.slices_for_extents([(lo, 80)])
+        assert len(plan_requests(slices, bmap, combine=False)) == 8
+        assert len(plan_requests(slices, bmap, combine=True, rank=rank)) == 4

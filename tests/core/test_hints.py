@@ -1,0 +1,96 @@
+"""Hint structure validation and striping construction (§6)."""
+
+import pytest
+
+from repro.core import (
+    ArrayStriping,
+    FileLevel,
+    Hint,
+    LinearStriping,
+    MultidimStriping,
+)
+from repro.errors import InvalidHint
+
+
+def test_default_hint_is_linear():
+    hint = Hint().validate()
+    assert hint.level is FileLevel.LINEAR
+    assert isinstance(hint.striping(), LinearStriping)
+
+
+def test_linear_constructor():
+    hint = Hint.linear(file_size=1000, brick_size=100)
+    striping = hint.striping()
+    assert isinstance(striping, LinearStriping)
+    assert striping.brick_count == 10
+    assert hint.expected_bricks() == 10
+
+
+def test_linear_validation():
+    with pytest.raises(InvalidHint):
+        Hint.linear(brick_size=0).validate()
+    with pytest.raises(InvalidHint):
+        Hint.linear(file_size=-1).validate()
+
+
+def test_multidim_constructor():
+    hint = Hint.multidim((64, 64), 8, (16, 16))
+    striping = hint.striping()
+    assert isinstance(striping, MultidimStriping)
+    assert striping.grid == (4, 4)
+    assert hint.expected_bricks() == 16
+
+
+def test_multidim_default_brick_shape():
+    """Omitted brick_shape is derived to approximate the byte target."""
+    hint = Hint(
+        level=FileLevel.MULTIDIM, array_shape=(1024, 1024), element_size=8
+    ).validate()
+    assert hint.brick_shape is not None
+    rows, cols = hint.brick_shape
+    assert 1 <= rows <= 1024 and 1 <= cols <= 1024
+
+
+def test_multidim_validation():
+    with pytest.raises(InvalidHint):
+        Hint(level=FileLevel.MULTIDIM).validate()  # missing shape
+    with pytest.raises(InvalidHint):
+        Hint.multidim((8, 8), 8, (16, 16)).validate()  # brick > array
+    with pytest.raises(InvalidHint):
+        Hint.multidim((8, 8), 8, (2,)).validate()  # rank mismatch
+    with pytest.raises(InvalidHint):
+        Hint.multidim((8, 0), 8, (2, 2)).validate()
+    with pytest.raises(InvalidHint):
+        Hint.multidim((8, 8), 0, (2, 2)).validate()
+
+
+def test_array_constructor():
+    hint = Hint.array((64, 64), 8, "(BLOCK, *)", nprocs=4)
+    striping = hint.striping()
+    assert isinstance(striping, ArrayStriping)
+    assert striping.brick_count == 4
+
+
+def test_array_validation():
+    with pytest.raises(InvalidHint):
+        Hint(level=FileLevel.ARRAY, array_shape=(8, 8)).validate()  # no pattern
+    with pytest.raises(InvalidHint):
+        Hint.array((8, 8), 8, "(BLOCK, *)", nprocs=0).validate()
+    with pytest.raises(InvalidHint):
+        Hint.array((8, 8), 8, "(CYCLIC, *)", nprocs=2).validate()
+    with pytest.raises(InvalidHint):
+        Hint.array((8, 8), 8, "(BLOCK)", nprocs=2).validate()  # rank mismatch
+    with pytest.raises(InvalidHint):
+        Hint.array((8, 8), 8, "(BLOCK, *)", nprocs=4, pgrid=(2, 1)).validate()
+
+
+def test_array_explicit_pgrid():
+    hint = Hint.array((8, 8), 8, "(BLOCK, BLOCK)", nprocs=4, pgrid=(4, 1))
+    striping = hint.striping()
+    assert striping.chunk_of(0).shape == (2, 8)
+
+
+def test_hint_is_frozen():
+    hint = Hint()
+    with pytest.raises(AttributeError):
+        hint.level = FileLevel.ARRAY  # type: ignore[misc]

@@ -1,0 +1,124 @@
+"""Placement algorithm tests — including exact reproduction of the
+paper's Figure 9 greedy example and the §8.2 3:1 allocation claim."""
+
+import pytest
+
+from repro.core import Greedy, RoundRobin, build_brick_map, make_policy
+from repro.errors import PlacementError
+
+
+def test_round_robin_cycle():
+    rr = RoundRobin(4)
+    assert rr.assign(10) == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+
+def test_round_robin_start_offset():
+    rr = RoundRobin(3, start=2)
+    assert rr.assign(4) == [2, 0, 1, 2]
+
+
+def test_figure3_round_robin_32_bricks():
+    """Fig. 3: a 32-brick file over 4 devices by round-robin."""
+    rr = RoundRobin(4)
+    assign = rr.assign(32)
+    lists = {
+        s: [i for i, srv in enumerate(assign) if srv == s] for s in range(4)
+    }
+    assert lists[0] == [0, 4, 8, 12, 16, 20, 24, 28]
+    assert lists[3] == [3, 7, 11, 15, 19, 23, 27, 31]
+
+
+def test_figure9_greedy_exact_reproduction():
+    """The paper's Fig. 9 worked example, brick for brick.
+
+    Replaying the figure shows performance numbers P = [1, 2, 1, 2] with
+    ties broken toward the fastest server, then lowest index (see
+    DESIGN.md).
+    """
+    greedy = Greedy([1, 2, 1, 2])
+    assign = greedy.assign(32)
+    lists = {
+        s: [i for i, srv in enumerate(assign) if srv == s] for s in range(4)
+    }
+    assert lists[0] == [0, 2, 6, 8, 12, 14, 18, 20, 24, 26, 30]
+    assert lists[1] == [4, 10, 16, 22, 28]
+    assert lists[2] == [1, 3, 7, 9, 13, 15, 19, 21, 25, 27, 31]
+    assert lists[3] == [5, 11, 17, 23, 29]
+
+
+def test_greedy_three_to_one_allocation():
+    """§8.2: with class 1 three times faster (P = 1 vs 3), greedy assigns
+    class 1 three times the bricks of class 3."""
+    greedy = Greedy([1.0, 1.0, 3.0, 3.0])
+    assign = greedy.assign(32)
+    counts = [assign.count(s) for s in range(4)]
+    assert counts == [12, 12, 4, 4]
+
+
+def test_greedy_equal_performance_degenerates_to_round_robin():
+    greedy = Greedy([1.0] * 4)
+    rr = RoundRobin(4)
+    assert greedy.assign(16) == rr.assign(16)
+
+
+def test_greedy_minimizes_projected_maximum():
+    """Invariant of the Fig. 8 rule: after each assignment the chosen
+    server's new accumulated time never exceeds any alternative's
+    projected time."""
+    perf = [1.0, 2.0, 5.0]
+    greedy = Greedy(perf)
+    acc = [0.0, 0.0, 0.0]
+    for _ in range(50):
+        before = [acc[j] + perf[j] for j in range(3)]
+        k = greedy.assign_next()
+        acc[k] += perf[k]
+        assert acc[k] == min(before)
+
+
+def test_greedy_accumulated_time_balance():
+    """Finish times stay within one brick-time of each other."""
+    perf = [1.0, 2.0, 3.0, 7.0]
+    greedy = Greedy(perf)
+    greedy.assign(500)
+    times = greedy.accumulated
+    assert max(times) - min(times) <= max(perf)
+
+
+def test_greedy_resume_matches_uninterrupted():
+    perf = [1.0, 3.0]
+    full = Greedy(perf).assign(20)
+    first = Greedy(perf)
+    head = first.assign(12)
+    resumed = Greedy.resume(perf, [head.count(0), head.count(1)])
+    tail = resumed.assign(8)
+    assert head + tail == full
+
+
+def test_greedy_rejects_bad_performance():
+    with pytest.raises(PlacementError):
+        Greedy([1.0, 0.0])
+    with pytest.raises(PlacementError):
+        Greedy([])
+
+
+def test_resume_length_mismatch_rejected():
+    with pytest.raises(PlacementError):
+        Greedy.resume([1.0, 2.0], [3])
+
+
+def test_make_policy():
+    assert make_policy("round_robin", 4).name == "round_robin"
+    assert make_policy("greedy", 2, [1, 2]).name == "greedy"
+    with pytest.raises(PlacementError):
+        make_policy("greedy", 2, None)
+    with pytest.raises(PlacementError):
+        make_policy("greedy", 2, [1.0])
+    with pytest.raises(PlacementError):
+        make_policy("nope", 2)
+
+
+def test_build_brick_map():
+    bmap = build_brick_map(RoundRobin(2), [10, 10, 10])
+    assert bmap.bricklist(0) == [0, 2]
+    assert bmap.bricklist(1) == [1]
+    assert bmap.location(2).local_offset == 10

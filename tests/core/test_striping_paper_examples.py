@@ -1,0 +1,112 @@
+"""Striping behaviour on the paper's own worked examples (§3, Figs. 4-7).
+
+These tests pin the analytic claims of the paper:
+
+- Fig. 5: an 8×8 array, brick = 4 elements, 4 devices.  Under
+  (BLOCK, \\*) each processor reads 4 bricks wholly; under (\\*, BLOCK)
+  it needs 8 bricks and uses only half of each.
+- Fig. 6: the same array under 2×2 multidimensional bricks — the first
+  two columns touch only bricks 0, 4, 8, 12 and "no extra data is
+  accessed".
+- §3.2's 64K×64K example: one column of data touches all 65536 linear
+  row-bricks but only 256 multidimensional 256×256 bricks.
+"""
+
+from repro.core import LinearStriping, MultidimStriping
+from repro.hpf import Region, decompose
+
+
+def _linear_region_slices(lin, region, cols, elem=1):
+    extents = []
+    for start_cell, run in region.rows():
+        extents.append(((start_cell[0] * cols + start_cell[1]) * elem, run * elem))
+    return lin.slices_for_extents(extents)
+
+
+def test_fig5_block_star_reads_whole_bricks():
+    """(BLOCK, *): each processor reads two rows = 4 full bricks."""
+    lin = LinearStriping(brick_size=4, file_size=64)
+    regions = decompose((8, 8), "(BLOCK, *)", 4)
+    for region in regions:
+        slices = _linear_region_slices(lin, region, cols=8)
+        bricks = {s.brick_id for s in slices}
+        assert len(bricks) == 4
+        # everything read is useful: slice bytes = region volume
+        assert sum(s.length for s in slices) == region.volume
+        # and each brick is read in full
+        per_brick = {}
+        for s in slices:
+            per_brick[s.brick_id] = per_brick.get(s.brick_id, 0) + s.length
+        assert all(v == 4 for v in per_brick.values())
+
+
+def test_fig5_star_block_wastes_half_of_each_brick():
+    """(*, BLOCK): processor 0 reads the first two columns — bricks
+    0, 2, 4, 6, 8, 10, 12, 14, two useful elements per brick."""
+    lin = LinearStriping(brick_size=4, file_size=64)
+    region = decompose((8, 8), "(*, BLOCK)", 4)[0]
+    assert region == Region.of((0, 8), (0, 2))
+    slices = _linear_region_slices(lin, region, cols=8)
+    bricks = sorted({s.brick_id for s in slices})
+    assert bricks == [0, 2, 4, 6, 8, 10, 12, 14]
+    # only 2 of every 4 elements per brick are useful
+    assert sum(s.length for s in slices) == 16
+    for s in slices:
+        assert s.length == 2
+
+
+def test_fig6_multidim_first_two_columns():
+    """2×2 multidimensional bricks: processor 0's two columns touch
+    exactly bricks 0, 4, 8 and 12, with no extra data."""
+    md = MultidimStriping((8, 8), 1, (2, 2))
+    region = Region.of((0, 8), (0, 2))
+    slices = md.slices_for_region(region)
+    bricks = sorted({s.brick_id for s in slices})
+    assert bricks == [0, 4, 8, 12]
+    # whole bricks are useful: 4 bricks x 4 elements = 16 = region volume
+    assert sum(s.length for s in slices) == region.volume == 16
+
+
+def test_64k_example_brick_counts():
+    """§3.2: one column of a 64K×64K array — 65536 linear row-bricks
+    versus 256 multidimensional 256×256 bricks."""
+    n = 65536
+    lin = LinearStriping(brick_size=n, file_size=n * n)
+    # one element per row: row r contributes byte offset r*n + c
+    # → every one of the 65536 row-bricks is touched.
+    # (Check analytically on a sample; enumerating all rows is slow.)
+    sample_rows = [0, 1, 12345, 65535]
+    for r in sample_rows:
+        s = lin.slices_for_extents([(r * n + 7, 1)])
+        assert len(s) == 1 and s[0].brick_id == r
+    assert lin.brick_count == n
+
+    md = MultidimStriping((n, n), 1, (256, 256))
+    slices = md.slices_for_region(Region.of((0, n), (7, 8)))
+    bricks = {s.brick_id for s in slices}
+    assert len(bricks) == 256
+
+
+def test_fig7_array_level_chunks_match_hpf():
+    """Fig. 7: (BLOCK, *), (*, BLOCK), (BLOCK, BLOCK) chunkings."""
+    from repro.core import ArrayStriping
+
+    for pattern, expected_shape in [
+        ("(BLOCK, *)", (2, 8)),
+        ("(*, BLOCK)", (8, 2)),
+        ("(BLOCK, BLOCK)", (4, 4)),
+    ]:
+        ar = ArrayStriping((8, 8), 1, pattern, 4)
+        assert ar.chunk_of(0).shape == expected_shape
+        # chunks partition the array
+        assert sum(c.volume for c in ar.chunks) == 64
+
+
+def test_fig3_file_view_brick_numbering():
+    """Fig. 3: a 32-brick DPFS file round-robined over 4 devices —
+    device k's subfile holds bricks k, k+4, k+8, ..."""
+    from repro.core import RoundRobin, build_brick_map
+
+    bmap = build_brick_map(RoundRobin(4), [1] * 32)
+    for server in range(4):
+        assert bmap.bricklist(server) == list(range(server, 32, 4))

@@ -1,0 +1,67 @@
+"""Pack/unpack behaviour of derived datatypes against NumPy ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import BYTE, FLOAT64, Contiguous, Subarray, Vector
+from repro.errors import DatatypeError
+
+
+def test_pack_contiguous_identity():
+    t = Contiguous(8)
+    buf = bytes(range(8))
+    assert t.pack(buf) == buf
+
+
+def test_pack_vector_gathers_strided():
+    t = Vector(3, 1, 2, BYTE)  # bytes 0, 2, 4
+    buf = bytes(range(6))
+    assert t.pack(buf) == bytes([0, 2, 4])
+
+
+def test_unpack_scatter_inverse_of_pack():
+    t = Vector(3, 2, 3, BYTE)
+    original = bytes(range(t.extent))
+    packed = t.pack(original)
+    out = bytearray(t.extent)
+    t.unpack(packed, out)
+    # gathered positions restored; holes remain zero
+    for off, ln in t.flattened():
+        assert out[off : off + ln] == original[off : off + ln]
+
+
+def test_pack_subarray_matches_numpy_slice():
+    arr = np.arange(36, dtype=np.float64).reshape(6, 6)
+    t = Subarray((6, 6), (3, 2), (2, 1), FLOAT64)
+    packed = t.pack(arr.tobytes())
+    expected = arr[2:5, 1:3]
+    assert packed == expected.tobytes()
+
+
+def test_unpack_subarray_places_block():
+    arr = np.zeros((4, 4), dtype=np.float64)
+    block = np.arange(4, dtype=np.float64).reshape(2, 2)
+    t = Subarray((4, 4), (2, 2), (1, 1), FLOAT64)
+    buf = bytearray(arr.tobytes())
+    t.unpack(block.tobytes(), buf)
+    out = np.frombuffer(bytes(buf), dtype=np.float64).reshape(4, 4)
+    assert np.array_equal(out[1:3, 1:3], block)
+    assert out[0].sum() == 0
+
+
+def test_pack_buffer_too_small_rejected():
+    t = Contiguous(16)
+    with pytest.raises(DatatypeError):
+        t.pack(b"short")
+
+
+def test_unpack_wrong_size_rejected():
+    t = Contiguous(4)
+    with pytest.raises(DatatypeError):
+        t.unpack(b"toolongdata", bytearray(4))
+
+
+def test_pack_column_matches_numpy():
+    arr = np.arange(64, dtype=np.int32).reshape(8, 8)
+    t = Subarray((8, 8), (8, 1), (0, 3), Contiguous(4))
+    assert t.pack(arr.tobytes()) == arr[:, 3:4].tobytes()

@@ -1,0 +1,83 @@
+"""Property-based tests for derived datatypes."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import BYTE, FLOAT64, Contiguous, Subarray, Vector
+
+
+@st.composite
+def subarrays(draw):
+    rank = draw(st.integers(1, 3))
+    shape = tuple(draw(st.integers(1, 8)) for _ in range(rank))
+    subsizes = tuple(draw(st.integers(0, n)) for n in shape)
+    starts = tuple(
+        draw(st.integers(0, n - s)) for n, s in zip(shape, subsizes)
+    )
+    return Subarray(shape, subsizes, starts, FLOAT64)
+
+
+@given(subarrays())
+@settings(max_examples=100, deadline=None)
+def test_subarray_size_is_window_volume(t):
+    assert t.size == math.prod(t.subsizes) * 8
+    assert t.extent == math.prod(t.shape) * 8
+
+
+@given(subarrays())
+@settings(max_examples=100, deadline=None)
+def test_subarray_extents_disjoint_sorted_and_inside(t):
+    flat = t.flattened()
+    assert sum(ln for _o, ln in flat) == t.size
+    last_end = -1
+    for off, ln in flat:
+        assert ln > 0
+        assert off > last_end            # strictly increasing, no overlap
+        assert off + ln <= t.extent
+        last_end = off + ln - 1
+
+
+@given(subarrays())
+@settings(max_examples=50, deadline=None)
+def test_subarray_pack_matches_numpy(t):
+    n = math.prod(t.shape)
+    arr = np.arange(n, dtype=np.float64).reshape(t.shape)
+    window = arr[
+        tuple(slice(s, s + z) for s, z in zip(t.starts, t.subsizes))
+    ]
+    assert t.pack(arr.tobytes()) == window.tobytes()
+
+
+@given(subarrays())
+@settings(max_examples=50, deadline=None)
+def test_subarray_pack_unpack_roundtrip(t):
+    rng = np.random.default_rng(0)
+    data = rng.random(max(t.size // 8, 0)).tobytes()
+    buf = bytearray(t.extent)
+    t.unpack(data, buf)
+    assert t.pack(bytes(buf)) == data
+
+
+@given(
+    st.integers(0, 20),
+    st.integers(0, 10),
+    st.integers(-5, 25),
+)
+@settings(max_examples=100, deadline=None)
+def test_vector_size_invariant(count, blocklength, stride):
+    t = Vector(count, blocklength, stride, BYTE)
+    assert t.size == count * blocklength
+    flat = t.flattened()
+    assert sum(ln for _o, ln in flat) == t.size
+
+
+@given(st.integers(0, 64), st.integers(1, 16))
+@settings(max_examples=100, deadline=None)
+def test_contiguous_nesting_associative(count, inner):
+    a = Contiguous(count, Contiguous(inner, BYTE))
+    b = Contiguous(count * inner, BYTE)
+    assert a.size == b.size
+    assert a.flattened() == b.flattened()

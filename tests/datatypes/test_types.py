@@ -1,0 +1,143 @@
+"""Unit tests for derived datatypes: sizes, extents, typemaps."""
+
+import pytest
+
+from repro.datatypes import (
+    BYTE,
+    FLOAT64,
+    INT32,
+    Basic,
+    Contiguous,
+    HIndexed,
+    HVector,
+    Indexed,
+    Subarray,
+    Vector,
+)
+from repro.errors import DatatypeError
+
+
+def test_basic_types():
+    assert BYTE.size == 1 and BYTE.extent == 1
+    assert INT32.size == 4
+    assert FLOAT64.size == 8
+    assert list(FLOAT64.extents(16)) == [(16, 8)]
+    with pytest.raises(DatatypeError):
+        Basic(0)
+
+
+def test_contiguous_merges_to_one_run():
+    t = Contiguous(10, FLOAT64)
+    assert t.size == 80 and t.extent == 80
+    assert t.flattened() == [(0, 80)]
+    assert t.flattened(100) == [(100, 80)]
+    assert t.is_contiguous
+
+
+def test_contiguous_zero_count():
+    t = Contiguous(0)
+    assert t.size == 0 and t.flattened() == []
+
+
+def test_contiguous_negative_count_rejected():
+    with pytest.raises(DatatypeError):
+        Contiguous(-1)
+
+
+def test_vector_strided():
+    # 3 blocks of 2 doubles, stride 4 doubles
+    t = Vector(3, 2, 4, FLOAT64)
+    assert t.size == 3 * 2 * 8
+    assert t.extent == (2 * 4 + 2) * 8  # span from 0 to last block end
+    assert t.flattened() == [(0, 16), (32, 16), (64, 16)]
+    assert not t.is_contiguous
+
+
+def test_vector_with_stride_equal_blocklength_is_contiguous():
+    t = Vector(4, 2, 2, BYTE)
+    assert t.flattened() == [(0, 8)]
+    assert t.is_contiguous
+
+
+def test_hvector_byte_stride():
+    t = HVector(2, 3, 10, BYTE)
+    assert t.flattened() == [(0, 3), (10, 3)]
+    assert t.extent == 13
+
+
+def test_indexed_displacements_in_elements():
+    t = Indexed([2, 1], [0, 5], INT32)
+    assert t.flattened() == [(0, 8), (20, 4)]
+    assert t.size == 12
+    assert t.extent == 24
+
+
+def test_hindexed_byte_displacements():
+    t = HIndexed([1, 1], [100, 0], BYTE)
+    # typemap order preserved: block at 100 first
+    assert t.flattened() == [(100, 1), (0, 1)]
+    assert t.extent == 101
+
+
+def test_hindexed_length_mismatch_rejected():
+    with pytest.raises(DatatypeError):
+        HIndexed([1, 2], [0])
+
+
+def test_subarray_2d_rows():
+    # 4x4 array of bytes, 2x2 window at (1, 1)
+    t = Subarray((4, 4), (2, 2), (1, 1))
+    assert t.size == 4
+    assert t.extent == 16
+    assert t.flattened() == [(5, 2), (9, 2)]
+
+
+def test_subarray_full_array_is_single_run():
+    t = Subarray((4, 4), (4, 4), (0, 0))
+    assert t.flattened() == [(0, 16)]
+
+
+def test_subarray_column():
+    t = Subarray((4, 4), (4, 1), (0, 2), FLOAT64)
+    assert t.flattened() == [(16, 8), (48, 8), (80, 8), (112, 8)]
+
+
+def test_subarray_1d():
+    t = Subarray((10,), (3,), (4,), INT32)
+    assert t.flattened() == [(16, 12)]
+
+
+def test_subarray_3d():
+    t = Subarray((2, 3, 4), (1, 2, 2), (1, 1, 1))
+    # rows: (1,1,1..3) and (1,2,1..3)
+    assert t.flattened() == [(17, 2), (21, 2)]
+
+
+def test_subarray_bounds_checked():
+    with pytest.raises(DatatypeError):
+        Subarray((4, 4), (2, 2), (3, 3))
+    with pytest.raises(DatatypeError):
+        Subarray((4, 4), (2,), (0, 0))
+    with pytest.raises(DatatypeError):
+        Subarray((), (), ())
+
+
+def test_subarray_empty_window():
+    t = Subarray((4, 4), (0, 2), (0, 0))
+    assert t.size == 0
+    assert t.flattened() == []
+
+
+def test_nested_contiguous_of_vector():
+    inner = Vector(2, 1, 2, BYTE)      # bytes at 0 and 2, extent 3
+    outer = Contiguous(2, inner)
+    assert outer.size == 4
+    assert list(outer.extents()) == [(0, 1), (2, 1), (3, 1), (5, 1)]
+
+
+def test_equality_and_hash():
+    a = Vector(3, 2, 4, BYTE)
+    b = HVector(3, 2, 4, BYTE)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Vector(3, 2, 5, BYTE)

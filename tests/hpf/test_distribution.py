@@ -1,0 +1,153 @@
+"""Unit tests for HPF distributions: pattern parsing, grids, decomposition."""
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.hpf import (
+    Dist,
+    Region,
+    decompose,
+    grid_shape,
+    owned_regions,
+    parse_pattern,
+    pattern_str,
+)
+
+
+def test_parse_pattern_strings():
+    assert parse_pattern("(BLOCK, *)") == (Dist.BLOCK, Dist.STAR)
+    assert parse_pattern("(*, BLOCK)") == (Dist.STAR, Dist.BLOCK)
+    assert parse_pattern("(BLOCK, BLOCK)") == (Dist.BLOCK, Dist.BLOCK)
+    assert parse_pattern("block, cyclic") == (Dist.BLOCK, Dist.CYCLIC)
+    assert parse_pattern(["BLOCK", "*"]) == (Dist.BLOCK, Dist.STAR)
+    assert parse_pattern([Dist.STAR]) == (Dist.STAR,)
+
+
+def test_parse_pattern_rejects_unknown():
+    with pytest.raises(DistributionError):
+        parse_pattern("(BLOCK, WAT)")
+    with pytest.raises(DistributionError):
+        parse_pattern("")
+
+
+def test_pattern_str_roundtrip():
+    assert pattern_str(parse_pattern("(BLOCK, *)")) == "(BLOCK, *)"
+    assert pattern_str(parse_pattern("(*, BLOCK)")) == "(*, BLOCK)"
+
+
+def test_grid_shape_single_distributed_dim():
+    assert grid_shape(parse_pattern("(BLOCK, *)"), 8) == (8, 1)
+    assert grid_shape(parse_pattern("(*, BLOCK)"), 8) == (1, 8)
+
+
+def test_grid_shape_two_distributed_dims():
+    assert grid_shape(parse_pattern("(BLOCK, BLOCK)"), 4) == (2, 2)
+    assert grid_shape(parse_pattern("(BLOCK, BLOCK)"), 6) in ((2, 3), (3, 2))
+    g = grid_shape(parse_pattern("(BLOCK, BLOCK)"), 16)
+    assert g[0] * g[1] == 16
+
+
+def test_grid_shape_star_only():
+    assert grid_shape(parse_pattern("(*, *)"), 1) == (1, 1)
+    with pytest.raises(DistributionError):
+        grid_shape(parse_pattern("(*, *)"), 4)
+
+
+def test_decompose_block_star():
+    regions = decompose((8, 8), "(BLOCK, *)", 4)
+    assert regions == [
+        Region.of((0, 2), (0, 8)),
+        Region.of((2, 4), (0, 8)),
+        Region.of((4, 6), (0, 8)),
+        Region.of((6, 8), (0, 8)),
+    ]
+
+
+def test_decompose_star_block():
+    regions = decompose((8, 8), "(*, BLOCK)", 4)
+    assert regions[0] == Region.of((0, 8), (0, 2))
+    assert regions[3] == Region.of((0, 8), (6, 8))
+
+
+def test_decompose_block_block():
+    regions = decompose((8, 8), "(BLOCK, BLOCK)", 4)
+    assert regions[0] == Region.of((0, 4), (0, 4))
+    assert regions[1] == Region.of((0, 4), (4, 8))
+    assert regions[2] == Region.of((4, 8), (0, 4))
+    assert regions[3] == Region.of((4, 8), (4, 8))
+
+
+def test_decompose_partitions_exactly():
+    """Chunks tile the array: disjoint, total volume = array volume."""
+    for pattern, nprocs in [("(BLOCK, *)", 3), ("(*, BLOCK)", 5), ("(BLOCK, BLOCK)", 6)]:
+        shape = (12, 10)
+        regions = decompose(shape, pattern, nprocs)
+        total = sum(r.volume for r in regions)
+        assert total == 120
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                if not a.empty and not b.empty:
+                    assert a.intersect(b) is None
+
+
+def test_decompose_uneven_block_rule():
+    # HPF: block size ceil(10/4)=3 → blocks 3,3,3,1
+    regions = decompose((10,), "(BLOCK)", 4)
+    assert [r.shape[0] for r in regions] == [3, 3, 3, 1]
+
+
+def test_decompose_more_procs_than_rows_gives_empty_chunks():
+    regions = decompose((2,), "(BLOCK)", 4)
+    assert [r.shape[0] for r in regions] == [1, 1, 0, 0]
+    assert regions[2].empty
+
+
+def test_decompose_rejects_cyclic():
+    with pytest.raises(DistributionError):
+        decompose((8,), "(CYCLIC)", 2)
+
+
+def test_decompose_rank_mismatch_rejected():
+    with pytest.raises(DistributionError):
+        decompose((8, 8), "(BLOCK)", 2)
+
+
+def test_decompose_explicit_pgrid():
+    regions = decompose((8, 8), "(BLOCK, BLOCK)", 8, pgrid=(4, 2))
+    assert regions[0] == Region.of((0, 2), (0, 4))
+    with pytest.raises(DistributionError):
+        decompose((8, 8), "(BLOCK, BLOCK)", 8, pgrid=(3, 2))
+
+
+def test_decompose_star_dim_with_grid_extent_rejected():
+    with pytest.raises(DistributionError):
+        decompose((8, 8), "(BLOCK, *)", 4, pgrid=(2, 2))
+
+
+def test_owned_regions_block_matches_decompose():
+    shape = (8, 6)
+    for rank in range(4):
+        owned = owned_regions(shape, "(BLOCK, *)", 4, rank)
+        assert owned == [decompose(shape, "(BLOCK, *)", 4)[rank]]
+
+
+def test_owned_regions_cyclic():
+    owned = owned_regions((8,), "(CYCLIC)", 3, 1)
+    # rank 1 of 3 owns indices 1, 4, 7
+    assert owned == [Region.of((1, 2)), Region.of((4, 5)), Region.of((7, 8))]
+
+
+def test_owned_regions_cyclic_partition():
+    shape = (7, 5)
+    seen = set()
+    for rank in range(3):
+        for region in owned_regions(shape, "(CYCLIC, *)", 3, rank):
+            for cell in region.cells():
+                assert cell not in seen
+                seen.add(cell)
+    assert len(seen) == 35
+
+
+def test_owned_regions_bad_rank_rejected():
+    with pytest.raises(DistributionError):
+        owned_regions((8,), "(BLOCK)", 4, 4)

@@ -1,0 +1,103 @@
+"""Property-based tests for HPF decomposition invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpf import Region, decompose, owned_regions
+
+
+@st.composite
+def block_star_cases(draw):
+    rank = draw(st.integers(1, 3))
+    shape = tuple(draw(st.integers(1, 16)) for _ in range(rank))
+    pattern = [draw(st.sampled_from(["BLOCK", "*"])) for _ in range(rank)]
+    if all(p == "*" for p in pattern):
+        nprocs = 1
+    else:
+        nprocs = draw(st.integers(1, 8))
+        if pattern.count("BLOCK") > 1:
+            # keep the grid factorable: give all procs to the first BLOCK dim
+            pattern = [
+                "BLOCK" if i == pattern.index("BLOCK") else "*"
+                for i in range(rank)
+            ]
+    return shape, "(" + ", ".join(pattern) + ")", nprocs
+
+
+@given(block_star_cases())
+@settings(max_examples=150, deadline=None)
+def test_decompose_is_exact_partition(case):
+    """Chunks are pairwise disjoint and cover the whole array."""
+    shape, pattern, nprocs = case
+    regions = decompose(shape, pattern, nprocs)
+    assert len(regions) == nprocs
+    assert sum(r.volume for r in regions) == math.prod(shape)
+    nonempty = [r for r in regions if not r.empty]
+    for i, a in enumerate(nonempty):
+        for b in nonempty[i + 1 :]:
+            assert a.intersect(b) is None
+    for r in regions:
+        assert Region.full(shape).covers(r)
+
+
+@given(block_star_cases())
+@settings(max_examples=100, deadline=None)
+def test_owned_regions_consistent_with_decompose(case):
+    shape, pattern, nprocs = case
+    whole = decompose(shape, pattern, nprocs)
+    for rank in range(nprocs):
+        owned = owned_regions(shape, pattern, nprocs, rank)
+        owned_cells = {c for r in owned for c in r.cells()}
+        assert owned_cells == set(whole[rank].cells())
+
+
+@given(
+    st.integers(1, 40),
+    st.integers(1, 10),
+)
+@settings(max_examples=100, deadline=None)
+def test_cyclic_partition_complete(n, nprocs):
+    seen: set[tuple[int, ...]] = set()
+    for rank in range(nprocs):
+        for region in owned_regions((n,), "(CYCLIC)", nprocs, rank):
+            for cell in region.cells():
+                assert cell not in seen
+                seen.add(cell)
+    assert len(seen) == n
+
+
+@st.composite
+def region_pairs(draw):
+    rank = draw(st.integers(1, 3))
+
+    def region():
+        starts, stops = [], []
+        for _ in range(rank):
+            a = draw(st.integers(0, 10))
+            b = draw(st.integers(0, 10))
+            starts.append(min(a, b))
+            stops.append(max(a, b))
+        return Region(tuple(starts), tuple(stops))
+
+    return region(), region()
+
+
+@given(region_pairs())
+@settings(max_examples=150, deadline=None)
+def test_intersection_matches_set_semantics(pair):
+    a, b = pair
+    inter = a.intersect(b)
+    cells = set(a.cells()) & set(b.cells())
+    if inter is None:
+        assert not cells
+    else:
+        assert set(inter.cells()) == cells
+
+
+@given(region_pairs())
+@settings(max_examples=100, deadline=None)
+def test_covers_matches_subset_semantics(pair):
+    a, b = pair
+    assert a.covers(b) == set(b.cells()).issubset(set(a.cells()))

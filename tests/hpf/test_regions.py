@@ -1,0 +1,109 @@
+"""Unit tests for the N-d region algebra."""
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.hpf import Region
+
+
+def test_construction_and_shape():
+    r = Region.of((0, 4), (2, 6))
+    assert r.rank == 2
+    assert r.shape == (4, 4)
+    assert r.volume == 16
+    assert not r.empty
+
+
+def test_full():
+    r = Region.full((3, 5))
+    assert r.starts == (0, 0) and r.stops == (3, 5)
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(DistributionError):
+        Region((0,), (0, 1))
+    with pytest.raises(DistributionError):
+        Region((2,), (1,))
+    with pytest.raises(DistributionError):
+        Region((-1,), (2,))
+    with pytest.raises(DistributionError):
+        Region((), ())
+
+
+def test_empty_region():
+    r = Region.of((2, 2), (0, 5))
+    assert r.empty
+    assert r.volume == 0
+    assert list(r.cells()) == []
+
+
+def test_intersect():
+    a = Region.of((0, 4), (0, 4))
+    b = Region.of((2, 6), (2, 6))
+    i = a.intersect(b)
+    assert i == Region.of((2, 4), (2, 4))
+
+
+def test_intersect_disjoint_is_none():
+    a = Region.of((0, 2), (0, 2))
+    b = Region.of((2, 4), (0, 2))
+    assert a.intersect(b) is None
+
+
+def test_intersect_rank_mismatch_rejected():
+    with pytest.raises(DistributionError):
+        Region.of((0, 2)).intersect(Region.of((0, 2), (0, 2)))
+
+
+def test_contains():
+    r = Region.of((1, 3), (1, 3))
+    assert r.contains((1, 1))
+    assert r.contains((2, 2))
+    assert not r.contains((3, 1))
+    assert not r.contains((0, 1))
+
+
+def test_covers():
+    outer = Region.of((0, 10), (0, 10))
+    inner = Region.of((2, 5), (3, 7))
+    assert outer.covers(inner)
+    assert not inner.covers(outer)
+    assert outer.covers(Region.of((4, 4), (0, 10)))  # empty always covered
+
+
+def test_translate_and_relative():
+    r = Region.of((2, 4), (2, 4))
+    moved = r.translate((10, 20))
+    assert moved == Region.of((12, 14), (22, 24))
+    assert moved.relative_to((10, 20)) == r
+
+
+def test_cells_row_major():
+    r = Region.of((0, 2), (0, 3))
+    assert list(r.cells()) == [
+        (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)
+    ]
+
+
+def test_rows_yields_contiguous_runs():
+    r = Region.of((1, 3), (2, 5))
+    rows = list(r.rows())
+    assert rows == [((1, 2), 3), ((2, 2), 3)]
+
+
+def test_rows_1d():
+    r = Region.of((4, 9))
+    assert list(r.rows()) == [((4,), 5)]
+
+
+def test_rows_3d():
+    r = Region((0, 0, 1), (2, 2, 3))
+    rows = list(r.rows())
+    assert len(rows) == 4
+    assert rows[0] == ((0, 0, 1), 2)
+    assert rows[-1] == ((1, 1, 1), 2)
+
+
+def test_rows_volume_consistency():
+    r = Region.of((3, 7), (1, 6), (0, 2))
+    assert sum(run for _c, run in r.rows()) == r.volume

@@ -1,0 +1,128 @@
+"""MDMS catalog tests: runs, datasets, queries, restart helper."""
+
+import pytest
+
+from repro.core import DPFS, Hint
+from repro.errors import DPFSError, FileNotFound
+from repro.mdms import Catalog
+
+
+@pytest.fixture
+def catalog(fs):
+    fs.makedirs("/runs/st")
+    for step in (100, 200, 300):
+        fs.write_file(f"/runs/st/T{step}", b"t" * 64)
+        fs.write_file(f"/runs/st/P{step}", b"p" * 64)
+    return Catalog(fs)
+
+
+def test_needs_fs_or_db():
+    with pytest.raises(DPFSError):
+        Catalog()
+
+
+def test_create_and_get_run(catalog):
+    run_id = catalog.create_run(
+        "shock-tube", owner="xhshen", attributes={"resolution": 2048}
+    )
+    run = catalog.get_run(run_id)
+    assert run.name == "shock-tube"
+    assert run.attributes["resolution"] == 2048
+    with pytest.raises(FileNotFound):
+        catalog.get_run(999)
+
+
+def test_run_ids_monotonic(catalog):
+    a = catalog.create_run("a")
+    b = catalog.create_run("b")
+    assert b == a + 1
+
+
+def test_find_runs_by_attributes(catalog):
+    catalog.create_run("lo", attributes={"resolution": 1024})
+    catalog.create_run("hi", attributes={"resolution": 2048, "solver": "ppm"})
+    hits = catalog.find_runs(resolution=2048)
+    assert [r.name for r in hits] == ["hi"]
+    assert catalog.find_runs(resolution=4096) == []
+    assert len(catalog.find_runs()) == 2
+
+
+def test_add_and_list_datasets(catalog):
+    run_id = catalog.create_run("st")
+    for step in (100, 200, 300):
+        catalog.add_dataset(run_id, "temperature", f"/runs/st/T{step}",
+                            step=step, attributes={"units": "K"})
+    datasets = catalog.datasets_of(run_id)
+    assert len(datasets) == 3
+    assert all(d.attributes["units"] == "K" for d in datasets)
+
+
+def test_dataset_path_must_exist(catalog):
+    run_id = catalog.create_run("st")
+    with pytest.raises(FileNotFound):
+        catalog.add_dataset(run_id, "x", "/no/such/file")
+    with pytest.raises(FileNotFound):
+        catalog.add_dataset(999, "x", "/runs/st/T100")
+
+
+def test_find_datasets_filters(catalog):
+    run_id = catalog.create_run("st")
+    for step in (100, 200, 300):
+        catalog.add_dataset(run_id, "temperature", f"/runs/st/T{step}", step=step)
+        catalog.add_dataset(run_id, "pressure", f"/runs/st/P{step}", step=step,
+                            attributes={"units": "Pa"})
+    assert len(catalog.find_datasets(name="temperature")) == 3
+    assert len(catalog.find_datasets(min_step=200)) == 4
+    assert len(catalog.find_datasets(name="pressure", max_step=150)) == 1
+    assert len(catalog.find_datasets(units="Pa")) == 3
+    assert catalog.find_datasets(units="psi") == []
+
+
+def test_latest_dataset_restart_helper(catalog):
+    run_id = catalog.create_run("st")
+    for step in (100, 300, 200):
+        catalog.add_dataset(run_id, "ckpt", f"/runs/st/T{step}", step=step)
+    latest = catalog.latest_dataset(run_id, "ckpt")
+    assert latest.step == 300
+    assert latest.path == "/runs/st/T300"
+    with pytest.raises(FileNotFound):
+        catalog.latest_dataset(run_id, "nope")
+
+
+def test_delete_run_keeps_or_removes_files(catalog, fs):
+    run_id = catalog.create_run("st")
+    catalog.add_dataset(run_id, "t", "/runs/st/T100", step=100)
+    catalog.delete_run(run_id)
+    assert fs.isfile("/runs/st/T100")           # records gone, file kept
+    run_id = catalog.create_run("st2")
+    catalog.add_dataset(run_id, "t", "/runs/st/T200", step=200)
+    catalog.delete_run(run_id, remove_files=True)
+    assert not fs.isfile("/runs/st/T200")
+
+
+def test_summary_group_by(catalog):
+    a = catalog.create_run("a")
+    b = catalog.create_run("b")
+    catalog.add_dataset(a, "t", "/runs/st/T100", step=100)
+    catalog.add_dataset(a, "t", "/runs/st/T200", step=200)
+    catalog.add_dataset(b, "p", "/runs/st/P100", step=100)
+    rows = catalog.summary()
+    assert rows == [
+        {"run_id": a, "datasets": 2, "last_step": 200},
+        {"run_id": b, "datasets": 1, "last_step": 100},
+    ]
+
+
+def test_catalog_survives_reopen(tmp_path):
+    fs = DPFS.local(tmp_path / "d", n_servers=2)
+    fs.write_file("/data", b"x")
+    catalog = Catalog(fs)
+    run_id = catalog.create_run("persist", attributes={"k": 1})
+    catalog.add_dataset(run_id, "d", "/data", step=7)
+    fs.close()
+
+    fs2 = DPFS.local(tmp_path / "d", n_servers=2)
+    catalog2 = Catalog(fs2)
+    assert catalog2.get_run(run_id).attributes == {"k": 1}
+    assert catalog2.latest_dataset(run_id, "d").step == 7
+    fs2.close()

@@ -1,0 +1,115 @@
+"""Unit tests for SQL expression evaluation (incl. NULL semantics)."""
+
+import pytest
+
+from repro.errors import MetaDBError, SchemaError
+from repro.metadb import parse_expression
+from repro.metadb.expr import evaluate, expr_columns, truthy
+
+
+def ev(sql, row=None, params=()):
+    return evaluate(parse_expression(sql), row or {}, params)
+
+
+def test_arithmetic():
+    assert ev("1 + 2 * 3") == 7
+    assert ev("10 / 4") == 2.5
+    assert ev("10 / 5") == 2          # exact integer division stays int
+    assert ev("2 - 5") == -3
+    assert ev("-(3)") == -3
+
+
+def test_division_by_zero_rejected():
+    with pytest.raises(MetaDBError):
+        ev("1 / 0")
+
+
+def test_comparisons_return_int_bool():
+    assert ev("3 > 2") == 1
+    assert ev("3 < 2") == 0
+    assert ev("'abc' = 'abc'") == 1
+    assert ev("2 >= 2") == 1
+    assert ev("2 != 2") == 0
+
+
+def test_column_reference():
+    assert ev("v * 2", {"v": 21}) == 42
+
+
+def test_unknown_column_rejected():
+    with pytest.raises(SchemaError):
+        ev("nope", {"v": 1})
+
+
+def test_params_positional():
+    assert ev("? + ?", params=[1, 2]) == 3
+
+
+def test_missing_param_rejected():
+    with pytest.raises(MetaDBError):
+        ev("? + ?", params=[1])
+
+
+def test_null_propagates_through_comparison():
+    assert ev("v = 1", {"v": None}) is None
+    assert ev("v + 1", {"v": None}) is None
+
+
+def test_three_valued_and_or():
+    # NULL AND FALSE = FALSE ; NULL AND TRUE = NULL
+    assert ev("v = 1 AND 0 = 1", {"v": None}) == 0
+    assert ev("v = 1 AND 1 = 1", {"v": None}) is None
+    # NULL OR TRUE = TRUE ; NULL OR FALSE = NULL
+    assert ev("v = 1 OR 1 = 1", {"v": None}) == 1
+    assert ev("v = 1 OR 0 = 1", {"v": None}) is None
+
+
+def test_not_semantics():
+    assert ev("NOT 0") == 1
+    assert ev("NOT 3") == 0
+    assert ev("NOT v", {"v": None}) is None
+
+
+def test_is_null():
+    assert ev("v IS NULL", {"v": None}) == 1
+    assert ev("v IS NOT NULL", {"v": None}) == 0
+    assert ev("v IS NULL", {"v": 5}) == 0
+
+
+def test_in_list():
+    assert ev("v IN (1, 2, 3)", {"v": 2}) == 1
+    assert ev("v IN (1, 2, 3)", {"v": 9}) == 0
+    assert ev("v NOT IN (1, 2)", {"v": 9}) == 1
+    assert ev("v IN (1, 2)", {"v": None}) is None
+
+
+def test_like_patterns():
+    assert ev("'hello' LIKE 'he%'") == 1
+    assert ev("'hello' LIKE 'h_llo'") == 1
+    assert ev("'hello' LIKE 'x%'") == 0
+    assert ev("'hello' NOT LIKE 'x%'") == 1
+    # regex metacharacters in the pattern are literal
+    assert ev("'a.b' LIKE 'a.b'") == 1
+    assert ev("'axb' LIKE 'a.b'") == 0
+
+
+def test_concat():
+    assert ev("'a' || 'b' || 1") == "ab1"
+    assert ev("'a' || v", {"v": None}) is None
+
+
+def test_truthy():
+    assert truthy(1) and truthy("x") and truthy(2.5)
+    assert not truthy(0) and not truthy(None) and not truthy("")
+
+
+def test_expr_columns_collects_references():
+    expr = parse_expression("a + b > c AND d IN (e, 1) AND f IS NULL")
+    assert expr_columns(expr) == {"a", "b", "c", "d", "e", "f"}
+
+
+def test_type_error_surfaces_as_metadb_error():
+    with pytest.raises(MetaDBError):
+        ev("'a' + 1")
+    with pytest.raises(MetaDBError):
+        ev("'a' < 1")

@@ -1,0 +1,188 @@
+"""Unit tests for the SQL parser (AST construction)."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.metadb import parse, parse_expression
+from repro.metadb.ast_nodes import (
+    Begin,
+    Binary,
+    ColumnRef,
+    Commit,
+    CreateTable,
+    Delete,
+    DropTable,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Like,
+    Literal,
+    Param,
+    Rollback,
+    Select,
+    Unary,
+    Update,
+)
+
+
+def test_create_table():
+    stmt = parse(
+        "CREATE TABLE t (k TEXT PRIMARY KEY, v INTEGER NOT NULL, "
+        "w REAL DEFAULT 1.5, x JSON, y TEXT UNIQUE)"
+    )
+    assert isinstance(stmt, CreateTable)
+    assert stmt.table == "t"
+    names = [c.name for c in stmt.columns]
+    assert names == ["k", "v", "w", "x", "y"]
+    assert stmt.columns[0].primary_key
+    assert stmt.columns[1].not_null
+    assert stmt.columns[2].has_default and stmt.columns[2].default == 1.5
+    assert stmt.columns[4].unique
+
+
+def test_create_if_not_exists():
+    stmt = parse("CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+    assert isinstance(stmt, CreateTable) and stmt.if_not_exists
+
+
+def test_drop_table():
+    stmt = parse("DROP TABLE IF EXISTS t")
+    assert isinstance(stmt, DropTable) and stmt.if_exists
+
+
+def test_insert_multi_row():
+    stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (?, ?)")
+    assert isinstance(stmt, Insert)
+    assert stmt.columns == ("a", "b")
+    assert len(stmt.rows) == 2
+    assert stmt.rows[0] == (Literal(1), Literal("x"))
+    assert stmt.rows[1] == (Param(0), Param(1))
+
+
+def test_insert_without_columns():
+    stmt = parse("INSERT INTO t VALUES (1, 2)")
+    assert isinstance(stmt, Insert) and stmt.columns is None
+
+
+def test_select_star():
+    stmt = parse("SELECT * FROM t")
+    assert isinstance(stmt, Select) and stmt.columns is None
+
+
+def test_select_full_clause_set():
+    stmt = parse(
+        "SELECT a, b AS bee FROM t WHERE a > 1 AND b LIKE 'x%' "
+        "ORDER BY a DESC, b LIMIT 5"
+    )
+    assert isinstance(stmt, Select)
+    assert stmt.columns is not None and len(stmt.columns) == 2
+    assert stmt.columns[1][1] == "bee"
+    assert isinstance(stmt.where, Binary) and stmt.where.op == "AND"
+    assert stmt.order_by[0].descending and not stmt.order_by[1].descending
+    assert stmt.limit == 5
+
+
+def test_select_distinct_and_count():
+    stmt = parse("SELECT DISTINCT a FROM t")
+    assert isinstance(stmt, Select) and stmt.distinct
+    stmt = parse("SELECT COUNT(*) FROM t")
+    assert isinstance(stmt.columns[0][0], FuncCall)
+    stmt = parse("SELECT COUNT(DISTINCT a) AS n FROM t")
+    fn = stmt.columns[0][0]
+    assert isinstance(fn, FuncCall) and fn.distinct and fn.argument == ColumnRef("a")
+
+
+def test_update():
+    stmt = parse("UPDATE t SET a = a + 1, b = ? WHERE k = 'x'")
+    assert isinstance(stmt, Update)
+    assert stmt.assignments[0][0] == "a"
+    assert isinstance(stmt.assignments[0][1], Binary)
+    assert stmt.assignments[1] == ("b", Param(0))
+
+
+def test_delete():
+    stmt = parse("DELETE FROM t WHERE a IS NOT NULL")
+    assert isinstance(stmt, Delete)
+    assert isinstance(stmt.where, IsNull) and stmt.where.negated
+
+
+def test_transaction_statements():
+    assert isinstance(parse("BEGIN"), Begin)
+    assert isinstance(parse("COMMIT"), Commit)
+    assert isinstance(parse("ROLLBACK"), Rollback)
+
+
+def test_trailing_semicolon_ok():
+    assert isinstance(parse("SELECT * FROM t;"), Select)
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse("SELECT * FROM t garbage here")
+
+
+def test_unsupported_statement_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse("VACUUM")
+    with pytest.raises(SQLSyntaxError):
+        parse("t = 1")
+
+
+# -- expression grammar -------------------------------------------------------
+
+def test_precedence_or_and():
+    expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+    assert isinstance(expr, Binary) and expr.op == "OR"
+    assert isinstance(expr.right, Binary) and expr.right.op == "AND"
+
+
+def test_precedence_arithmetic():
+    expr = parse_expression("1 + 2 * 3")
+    assert isinstance(expr, Binary) and expr.op == "+"
+    assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+
+def test_parentheses_override():
+    expr = parse_expression("(1 + 2) * 3")
+    assert isinstance(expr, Binary) and expr.op == "*"
+    assert isinstance(expr.left, Binary) and expr.left.op == "+"
+
+
+def test_not_and_unary_minus():
+    expr = parse_expression("NOT a = -1")
+    assert isinstance(expr, Unary) and expr.op == "NOT"
+    inner = expr.operand
+    assert isinstance(inner, Binary)
+    assert inner.right == Unary("-", Literal(1))
+
+
+def test_in_list():
+    expr = parse_expression("a IN (1, 2, 3)")
+    assert isinstance(expr, InList) and len(expr.items) == 3
+    expr = parse_expression("a NOT IN (1)")
+    assert isinstance(expr, InList) and expr.negated
+
+
+def test_like_and_not_like():
+    expr = parse_expression("name LIKE '/home/%'")
+    assert isinstance(expr, Like) and not expr.negated
+    expr = parse_expression("name NOT LIKE 'x'")
+    assert isinstance(expr, Like) and expr.negated
+
+
+def test_concat_operator():
+    expr = parse_expression("a || b")
+    assert isinstance(expr, Binary) and expr.op == "||"
+
+
+def test_param_indices_increment():
+    expr = parse_expression("? + ? + ?")
+    # leftmost-deep: ((p0 + p1) + p2)
+    assert isinstance(expr, Binary)
+    assert expr.right == Param(2)
+
+
+def test_expression_trailing_garbage_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_expression("1 + 2 extra")

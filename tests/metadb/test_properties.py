@@ -1,0 +1,123 @@
+"""Property-based tests for the embedded database (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metadb import Database
+
+keys = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+values = st.integers(min_value=-(2**31), max_value=2**31)
+
+
+@given(st.dictionaries(keys, values, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_insert_then_select_roundtrips_dict(mapping):
+    """A table behaves like a dict: inserted pairs come back exactly."""
+    db = Database()
+    db.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v INTEGER)")
+    for k, v in mapping.items():
+        db.execute("INSERT INTO t VALUES (?, ?)", [k, v])
+    got = {
+        row["k"]: row["v"] for row in db.execute("SELECT k, v FROM t").rows
+    }
+    assert got == mapping
+
+
+@given(
+    st.dictionaries(keys, values, min_size=1, max_size=20),
+    st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_delete_is_exact(mapping, data):
+    db = Database()
+    db.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v INTEGER)")
+    for k, v in mapping.items():
+        db.execute("INSERT INTO t VALUES (?, ?)", [k, v])
+    victim = data.draw(st.sampled_from(sorted(mapping)))
+    db.execute("DELETE FROM t WHERE k = ?", [victim])
+    got = {row["k"] for row in db.execute("SELECT k FROM t").rows}
+    assert got == set(mapping) - {victim}
+
+
+@given(st.lists(st.tuples(keys, values), min_size=1, max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_rollback_restores_exact_state(pairs):
+    """Arbitrary mutation batches inside BEGIN..ROLLBACK leave no trace."""
+    db = Database()
+    db.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v INTEGER)")
+    baseline = {}
+    for k, v in pairs:
+        if k not in baseline:
+            db.execute("INSERT INTO t VALUES (?, ?)", [k, v])
+            baseline[k] = v
+
+    db.begin()
+    for i, (k, v) in enumerate(pairs):
+        if i % 3 == 0:
+            db.execute("UPDATE t SET v = ? WHERE k = ?", [v + 1, k])
+        elif i % 3 == 1:
+            db.execute("DELETE FROM t WHERE k = ?", [k])
+        else:
+            db.execute(
+                "INSERT INTO t VALUES (?, ?)", [k + "_new" + str(i), v]
+            )
+    db.rollback()
+
+    got = {
+        row["k"]: row["v"] for row in db.execute("SELECT k, v FROM t").rows
+    }
+    assert got == baseline
+
+
+@given(st.dictionaries(keys, values, max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_wal_reopen_equals_live_state(tmp_path_factory, mapping):
+    """Close + reopen from snapshot/WAL reproduces the live table."""
+    path = tmp_path_factory.mktemp("db") / "meta.db"
+    db = Database(path)
+    db.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v INTEGER)")
+    for k, v in mapping.items():
+        db.execute("INSERT INTO t VALUES (?, ?)", [k, v])
+    live = {
+        row["k"]: row["v"] for row in db.execute("SELECT k, v FROM t").rows
+    }
+    db.close()
+
+    db2 = Database(path)
+    recovered = {
+        row["k"]: row["v"] for row in db2.execute("SELECT k, v FROM t").rows
+    }
+    db2.close()
+    assert recovered == live == mapping
+
+
+@given(
+    st.lists(values, min_size=0, max_size=30),
+    st.integers(min_value=-(2**31), max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_where_filter_matches_python_filter(numbers, threshold):
+    db = Database()
+    db.execute("CREATE TABLE t (i INTEGER PRIMARY KEY, v INTEGER)")
+    for i, v in enumerate(numbers):
+        db.execute("INSERT INTO t VALUES (?, ?)", [i, v])
+    rows = db.execute("SELECT v FROM t WHERE v > ?", [threshold]).rows
+    assert sorted(r["v"] for r in rows) == sorted(
+        v for v in numbers if v > threshold
+    )
+
+
+@given(st.lists(st.tuples(values, values), max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_order_by_matches_python_sort(pairs):
+    db = Database()
+    db.execute("CREATE TABLE t (i INTEGER PRIMARY KEY, a INTEGER, b INTEGER)")
+    for i, (a, b) in enumerate(pairs):
+        db.execute("INSERT INTO t VALUES (?, ?, ?)", [i, a, b])
+    rows = db.execute("SELECT a, b FROM t ORDER BY a, b DESC").rows
+    got = [(r["a"], r["b"]) for r in rows]
+    assert got == sorted(
+        ((a, b) for a, b in pairs), key=lambda p: (p[0], -p[1])
+    )

@@ -1,0 +1,83 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.metadb import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+def test_keywords_uppercased():
+    assert kinds("select from where")[0] == (TokenType.KEYWORD, "SELECT")
+    assert all(t[0] is TokenType.KEYWORD for t in kinds("select from where"))
+
+
+def test_identifiers_preserve_case():
+    toks = kinds("SELECT server_name FROM dpfs_server")
+    assert (TokenType.IDENTIFIER, "server_name") in toks
+    assert (TokenType.IDENTIFIER, "dpfs_server") in toks
+
+
+def test_string_literal_with_escaped_quote():
+    toks = kinds("SELECT 'it''s fine'")
+    assert (TokenType.STRING, "it's fine") in toks
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("SELECT 'oops")
+
+
+def test_numbers_int_float_exponent():
+    toks = kinds("SELECT 42, 3.14, 1e3, 2.5E-2")
+    values = [v for t, v in toks if t is TokenType.NUMBER]
+    assert values == ["42", "3.14", "1e3", "2.5E-2"]
+
+
+def test_params():
+    toks = kinds("INSERT INTO t VALUES (?, ?)")
+    assert sum(1 for t, _v in toks if t is TokenType.PARAM) == 2
+
+
+def test_compound_operators():
+    toks = kinds("a <= b >= c != d <> e")
+    ops = [v for t, v in toks if t is TokenType.OPERATOR]
+    assert ops == ["<=", ">=", "!=", "!="]  # <> canonicalised
+
+
+def test_comments_skipped():
+    toks = kinds("SELECT 1 -- a comment\n+ 2")
+    values = [v for _t, v in toks]
+    assert values == ["SELECT", "1", "+", "2"]
+
+
+def test_quoted_identifier():
+    toks = kinds('SELECT "weird name" FROM t')
+    assert (TokenType.IDENTIFIER, "weird name") in toks
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("SELECT @foo")
+
+
+def test_eof_token_present():
+    toks = tokenize("SELECT 1")
+    assert toks[-1].type is TokenType.EOF
+
+
+def test_token_matches_helper():
+    tok = Token(TokenType.KEYWORD, "SELECT", 0)
+    assert tok.matches(TokenType.KEYWORD)
+    assert tok.matches(TokenType.KEYWORD, "SELECT")
+    assert not tok.matches(TokenType.KEYWORD, "FROM")
+    assert not tok.matches(TokenType.IDENTIFIER)
+
+
+def test_positions_recorded():
+    toks = tokenize("SELECT  abc")
+    assert toks[0].pos == 0
+    assert toks[1].pos == 8

@@ -1,0 +1,126 @@
+"""Transaction semantics: BEGIN/COMMIT/ROLLBACK, undo coverage, context
+manager behaviour."""
+
+import pytest
+
+from repro.errors import ConstraintError, TransactionError
+from repro.metadb import Database
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v INTEGER)")
+    d.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+    return d
+
+
+def test_commit_persists(db):
+    db.begin()
+    db.execute("INSERT INTO t VALUES ('c', 3)")
+    db.commit()
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 3
+
+
+def test_rollback_insert(db):
+    db.begin()
+    db.execute("INSERT INTO t VALUES ('c', 3)")
+    db.rollback()
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+
+def test_rollback_update(db):
+    db.begin()
+    db.execute("UPDATE t SET v = 99")
+    db.rollback()
+    rows = db.execute("SELECT v FROM t ORDER BY k").rows
+    assert [r["v"] for r in rows] == [1, 2]
+
+
+def test_rollback_delete(db):
+    db.begin()
+    db.execute("DELETE FROM t")
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+    db.rollback()
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+
+def test_rollback_create_table(db):
+    db.begin()
+    db.execute("CREATE TABLE fresh (x INTEGER)")
+    db.rollback()
+    assert "fresh" not in db.table_names()
+
+
+def test_rollback_drop_table_restores_rows(db):
+    db.begin()
+    db.execute("DROP TABLE t")
+    db.rollback()
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+    # unique index must be restored too
+    with pytest.raises(ConstraintError):
+        db.execute("INSERT INTO t VALUES ('a', 9)")
+
+
+def test_rollback_mixed_operations_in_order(db):
+    db.begin()
+    db.execute("INSERT INTO t VALUES ('c', 3)")
+    db.execute("UPDATE t SET v = v + 10 WHERE k = 'a'")
+    db.execute("DELETE FROM t WHERE k = 'b'")
+    db.rollback()
+    rows = db.execute("SELECT k, v FROM t ORDER BY k").rows
+    assert rows == [{"k": "a", "v": 1}, {"k": "b", "v": 2}]
+
+
+def test_nested_begin_rejected(db):
+    db.begin()
+    with pytest.raises(TransactionError):
+        db.begin()
+    db.rollback()
+
+
+def test_commit_without_begin_rejected(db):
+    with pytest.raises(TransactionError):
+        db.commit()
+
+
+def test_rollback_without_begin_rejected(db):
+    with pytest.raises(TransactionError):
+        db.rollback()
+
+
+def test_autocommit_failure_rolls_back_partial_multirow(db):
+    # second row collides with PK 'a'; first row must not survive
+    with pytest.raises(ConstraintError):
+        db.execute("INSERT INTO t VALUES ('z', 9), ('a', 8)")
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+    assert db.execute("SELECT v FROM t WHERE k = 'z'").scalar() is None
+
+
+def test_transaction_context_commits(db):
+    with db.transaction():
+        db.execute("INSERT INTO t VALUES ('c', 3)")
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 3
+
+
+def test_transaction_context_rolls_back_on_error(db):
+    with pytest.raises(RuntimeError):
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES ('c', 3)")
+            raise RuntimeError("abort")
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+    assert not db.in_transaction
+
+
+def test_reads_inside_transaction_see_own_writes(db):
+    with db.transaction():
+        db.execute("UPDATE t SET v = 100 WHERE k = 'a'")
+        assert db.execute("SELECT v FROM t WHERE k = 'a'").scalar() == 100
+
+
+def test_pk_free_after_rollback_of_delete_insert(db):
+    db.begin()
+    db.execute("DELETE FROM t WHERE k = 'a'")
+    db.execute("INSERT INTO t VALUES ('a', 42)")
+    db.rollback()
+    assert db.execute("SELECT v FROM t WHERE k = 'a'").scalar() == 1

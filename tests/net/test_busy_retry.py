@@ -1,0 +1,117 @@
+"""Server overload and client retry (§4.2: un-handled requests "have to
+try again later")."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServerError
+from repro.net import DPFSServer, ServerConnection
+
+
+@pytest.fixture
+def busy_server(tmp_path):
+    # the artificial I/O delay guarantees concurrent arrivals overlap,
+    # making rejection deterministic
+    with DPFSServer(
+        tmp_path / "srv", max_concurrent=1, io_delay_s=0.005
+    ) as server:
+        yield server
+
+
+def test_unlimited_server_never_rejects(tmp_path):
+    with DPFSServer(tmp_path / "s") as server:
+        conn = ServerConnection(*server.address)
+        conn.create("/f")
+        for _ in range(10):
+            conn.write("/f", [(0, 10)], b"0123456789")
+        assert server.requests_rejected == 0
+        conn.close()
+
+
+def test_flood_triggers_rejection_and_retry(busy_server):
+    """Many concurrent connections against max_concurrent=1: rejections
+    happen, retries recover, every request eventually succeeds."""
+    n_threads = 8
+    per_thread = 5
+    payload = b"x" * 4096
+    errors = []
+    retried = []
+
+    def work(n):
+        try:
+            conn = ServerConnection(
+                *busy_server.address, busy_retries=50, busy_backoff_s=0.002
+            )
+            name = f"/t{n}"
+            conn.create(name)
+            for _ in range(per_thread):
+                conn.write(name, [(0, len(payload))], payload)
+                assert conn.read(name, [(0, 16)]) == payload[:16]
+            retried.append(conn.retried_requests)
+            conn.close()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # with 8 writers against a 1-slot server, rejections are certain
+    assert busy_server.requests_rejected > 0
+    assert sum(retried) > 0
+
+
+def test_retries_exhausted_surface_as_server_error(tmp_path):
+    with DPFSServer(tmp_path / "s", max_concurrent=1) as server:
+        blocker = ServerConnection(*server.address)
+        blocker.create("/big")
+        victim = ServerConnection(
+            *server.address, busy_retries=1, busy_backoff_s=0.001
+        )
+        victim.create("/v")
+
+        hold = threading.Event()
+        release = threading.Event()
+
+        # occupy the only slot with a long write from another thread
+        def occupy():
+            hold.set()
+            blocker.write("/big", [(0, 1 << 22)], b"z" * (1 << 22))
+            release.set()
+
+        t = threading.Thread(target=occupy)
+        t.start()
+        hold.wait()
+        # hammer until we observe the busy error (the blocker may finish
+        # fast, so loop a few times)
+        saw_busy = False
+        for _ in range(50):
+            if release.is_set():
+                break
+            try:
+                victim.write("/v", [(0, 4)], b"abcd")
+            except ServerError as exc:
+                assert "ServerBusy" in str(exc)
+                saw_busy = True
+                break
+        t.join()
+        blocker.close()
+        victim.close()
+        # whether we caught it depends on timing; the rejection counter
+        # is the reliable signal when we did
+        if saw_busy:
+            assert server.requests_rejected > 0
+
+
+def test_metadata_ops_not_throttled(busy_server):
+    """Only read/write are admission-controlled; create/exists/ping pass."""
+    conn = ServerConnection(*busy_server.address)
+    conn.create("/meta")
+    assert conn.exists("/meta")
+    assert conn.size("/meta") == 0
+    conn.close()
+    assert busy_server.requests_rejected == 0

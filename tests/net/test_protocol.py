@@ -1,0 +1,96 @@
+"""Wire protocol framing tests over a socketpair."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.protocol import MAX_HEADER, recv_message, send_message
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def test_roundtrip_header_only(pair):
+    a, b = pair
+    send_message(a, {"op": "ping"})
+    header, payload = recv_message(b)
+    assert header == {"op": "ping"}
+    assert payload == b""
+
+
+def test_roundtrip_with_payload(pair):
+    a, b = pair
+    blob = bytes(range(256)) * 10
+    send_message(a, {"op": "write", "extents": [[0, len(blob)]]}, blob)
+    header, payload = recv_message(b)
+    assert header["op"] == "write"
+    assert payload == blob
+
+
+def test_multiple_messages_in_sequence(pair):
+    a, b = pair
+    for i in range(5):
+        send_message(a, {"seq": i}, bytes([i]))
+    for i in range(5):
+        header, payload = recv_message(b)
+        assert header["seq"] == i
+        assert payload == bytes([i])
+
+
+def test_large_payload_chunked_delivery(pair):
+    a, b = pair
+    blob = b"z" * (1 << 20)
+
+    def sender():
+        send_message(a, {"op": "read"}, blob)
+
+    t = threading.Thread(target=sender)
+    t.start()
+    header, payload = recv_message(b)
+    t.join()
+    assert payload == blob
+
+
+def test_eof_mid_message_raises(pair):
+    a, b = pair
+    a.sendall(struct.pack("!II", 100, 0))  # promises 100-byte header
+    a.close()
+    with pytest.raises(ProtocolError):
+        recv_message(b)
+
+
+def test_oversized_header_rejected(pair):
+    a, b = pair
+    a.sendall(struct.pack("!II", MAX_HEADER + 1, 0))
+    with pytest.raises(ProtocolError):
+        recv_message(b)
+
+
+def test_malformed_json_rejected(pair):
+    a, b = pair
+    garbage = b"not json!!"
+    a.sendall(struct.pack("!II", len(garbage), 0) + garbage)
+    with pytest.raises(ProtocolError):
+        recv_message(b)
+
+
+def test_non_object_header_rejected(pair):
+    a, b = pair
+    body = b"[1, 2, 3]"
+    a.sendall(struct.pack("!II", len(body), 0) + body)
+    with pytest.raises(ProtocolError):
+        recv_message(b)
+
+
+def test_send_oversized_header_rejected(pair):
+    a, _b = pair
+    with pytest.raises(ProtocolError):
+        send_message(a, {"x": "y" * (MAX_HEADER + 1)})

@@ -1,0 +1,88 @@
+"""Storage class and topology construction tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim import (
+    CLASS1,
+    CLASS2,
+    CLASS3,
+    CLASSES,
+    build_topology,
+    scaled_class,
+)
+from repro.sim import Environment
+
+
+def test_three_classes_registered():
+    assert set(CLASSES) == {1, 2, 3}
+    assert CLASSES[1] is CLASS1
+
+
+def test_performance_ordering_matches_paper():
+    """Class 1 is the fastest; §8.2 says ~3x faster than class 3."""
+    assert CLASS1.performance == 1.0
+    assert CLASS3.performance == 3.0
+    assert CLASS2.performance >= CLASS3.performance
+
+
+def test_class2_is_shared_medium():
+    assert CLASS2.nic_shared
+    assert not CLASS1.nic_shared and not CLASS3.nic_shared
+
+
+def test_per_brick_access_time_ratio_about_three():
+    """The physical models honour the paper's '3 times faster' claim
+    for one 32 KiB brick (within a loose band)."""
+    brick = 32 * 1024
+
+    def brick_time(params):
+        disk = params.disk.seek_s + brick / params.disk.read_bps
+        wire = (
+            brick / params.nic.bandwidth_bps
+            + brick / params.trunk.bandwidth_bps
+            + params.nic.latency_s
+            + params.trunk.latency_s
+        )
+        return disk + wire
+
+    ratio = brick_time(CLASS3) / brick_time(CLASS1)
+    assert 2.0 <= ratio <= 4.0
+
+
+def test_build_topology_private_nics_distinct():
+    env = Environment()
+    servers = build_topology(env, [CLASS1, CLASS1, CLASS1])
+    nics = {id(s.path.links[0]) for s in servers}
+    trunks = {id(s.path.links[1]) for s in servers}
+    assert len(nics) == 3          # private NICs
+    assert len(trunks) == 1        # shared class trunk
+
+
+def test_build_topology_shared_medium_single_link():
+    env = Environment()
+    servers = build_topology(env, [CLASS2, CLASS2, CLASS2])
+    media = {id(s.path.links[0]) for s in servers}
+    assert len(media) == 1         # one 10 Mb Ethernet for everyone
+
+
+def test_build_topology_mixed_classes_separate_trunks():
+    env = Environment()
+    servers = build_topology(env, [CLASS1, CLASS3, CLASS1, CLASS3])
+    trunk1 = {id(s.path.links[1]) for s in servers if s.storage_class == 1}
+    trunk3 = {id(s.path.links[1]) for s in servers if s.storage_class == 3}
+    assert len(trunk1) == 1 and len(trunk3) == 1
+    assert trunk1 != trunk3
+
+
+def test_build_topology_empty_rejected():
+    with pytest.raises(ConfigError):
+        build_topology(Environment(), [])
+
+
+def test_scaled_class():
+    turbo = scaled_class(CLASS1, 2.0)
+    assert turbo.disk.read_bps == CLASS1.disk.read_bps * 2
+    assert turbo.performance == CLASS1.performance / 2
+    with pytest.raises(ConfigError):
+        scaled_class(CLASS1, 0)

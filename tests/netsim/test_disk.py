@@ -1,0 +1,86 @@
+"""Disk model tests: service times, FIFO queueing, block pipeline."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim import Disk, DiskParams
+from repro.sim import Environment
+
+
+def test_params_validated():
+    with pytest.raises(ConfigError):
+        DiskParams(seek_s=-1, read_bps=1, write_bps=1)
+    with pytest.raises(ConfigError):
+        DiskParams(seek_s=0, read_bps=0, write_bps=1)
+
+
+def test_service_time_seek_plus_transfer():
+    p = DiskParams(seek_s=0.01, read_bps=1000, write_bps=500)
+    assert p.service_time([(0, 1000)], is_read=True) == pytest.approx(1.01)
+    assert p.service_time([(0, 1000)], is_read=False) == pytest.approx(2.01)
+
+
+def test_service_time_coalesces_adjacent_extents():
+    p = DiskParams(seek_s=0.01, read_bps=1000, write_bps=1000)
+    adjacent = p.service_time([(0, 500), (500, 500)], is_read=True)
+    scattered = p.service_time([(0, 500), (1000, 500)], is_read=True)
+    assert adjacent == pytest.approx(1.01)       # one seek
+    assert scattered == pytest.approx(1.02)      # two seeks
+
+
+def test_disk_fifo_serializes():
+    env = Environment()
+    disk = Disk(env, DiskParams(seek_s=0.0, read_bps=100, write_bps=100))
+    finish = []
+
+    def job(env):
+        yield from disk.access([(0, 100)], is_read=True)
+        finish.append(env.now)
+
+    for _ in range(3):
+        env.process(job(env))
+    env.run()
+    assert finish == [1.0, 2.0, 3.0]
+    assert disk.io_count == 3
+    assert disk.busy_time == pytest.approx(3.0)
+
+
+def test_disk_wait_statistics():
+    env = Environment()
+    disk = Disk(env, DiskParams(seek_s=0.0, read_bps=100, write_bps=100))
+
+    def job(env):
+        yield from disk.access([(0, 100)], is_read=True)
+
+    env.process(job(env))
+    env.process(job(env))
+    env.run()
+    assert disk.wait.count == 2
+    assert disk.wait.maximum == pytest.approx(1.0)
+
+
+def test_access_block_seek_accounting():
+    env = Environment()
+    disk = Disk(env, DiskParams(seek_s=0.5, read_bps=1000, write_bps=1000))
+
+    def job(env):
+        yield from disk.access_block(500, pays_seek=True, is_read=True)
+        yield from disk.access_block(500, pays_seek=False, is_read=True)
+
+    env.process(job(env))
+    env.run()
+    assert env.now == pytest.approx(0.5 + 0.5 + 0.5)  # 1 seek + 2 transfers
+    assert disk.seek_count == 1
+    assert disk.bytes_moved == 1000
+
+
+def test_write_rate_differs():
+    env = Environment()
+    disk = Disk(env, DiskParams(seek_s=0.0, read_bps=200, write_bps=100))
+
+    def job(env):
+        yield from disk.access([(0, 100)], is_read=False)
+
+    env.process(job(env))
+    env.run()
+    assert env.now == pytest.approx(1.0)

@@ -1,0 +1,124 @@
+"""Network link/path model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim import Link, LinkParams, Path
+from repro.sim import Environment
+
+
+def test_params_validated():
+    with pytest.raises(ConfigError):
+        LinkParams(bandwidth_bps=0)
+    with pytest.raises(ConfigError):
+        LinkParams(bandwidth_bps=100, latency_s=-1)
+
+
+def test_transfer_time_bandwidth_plus_latency():
+    env = Environment()
+    link = Link(env, LinkParams(bandwidth_bps=1000, latency_s=0.25))
+    done = []
+
+    def sender(env):
+        yield from link.transfer(500)
+        done.append(env.now)
+
+    env.process(sender(env))
+    env.run()
+    assert done == [pytest.approx(0.75)]  # 0.5 transmit + 0.25 propagate
+    assert link.bytes_moved == 500
+    assert link.messages == 1
+
+
+def test_shared_link_serializes_but_latency_overlaps():
+    env = Environment()
+    link = Link(env, LinkParams(bandwidth_bps=1000, latency_s=0.5))
+    done = []
+
+    def sender(env, tag):
+        yield from link.transfer(1000)
+        done.append((tag, env.now))
+
+    env.process(sender(env, "a"))
+    env.process(sender(env, "b"))
+    env.run()
+    # a: holds [0,1], arrives 1.5; b: holds [1,2], arrives 2.5
+    assert done == [("a", 1.5), ("b", 2.5)]
+
+
+def test_zero_byte_message_costs_latency_only():
+    env = Environment()
+    link = Link(env, LinkParams(bandwidth_bps=1000, latency_s=0.3))
+    done = []
+
+    def sender(env):
+        yield from link.transfer(0)
+        done.append(env.now)
+
+    env.process(sender(env))
+    env.run()
+    assert done == [pytest.approx(0.3)]
+
+
+def test_negative_size_rejected():
+    env = Environment()
+    link = Link(env, LinkParams(bandwidth_bps=1000))
+
+    def sender(env):
+        yield from link.transfer(-1)
+
+    env.process(sender(env))
+    with pytest.raises(ConfigError):
+        env.run()
+
+
+def test_path_store_and_forward():
+    env = Environment()
+    fast = Link(env, LinkParams(bandwidth_bps=2000, latency_s=0.0))
+    slow = Link(env, LinkParams(bandwidth_bps=500, latency_s=0.1))
+    path = Path([fast, slow])
+    done = []
+
+    def sender(env):
+        yield from path.transfer(1000)
+        done.append(env.now)
+
+    env.process(sender(env))
+    env.run()
+    # 0.5 on fast + 2.0 on slow + 0.1 latency
+    assert done == [pytest.approx(2.6)]
+    assert path.latency() == pytest.approx(0.1)
+
+
+def test_shared_trunk_contention_across_paths():
+    """Two servers with private NICs share one trunk — trunk serializes."""
+    env = Environment()
+    trunk = Link(env, LinkParams(bandwidth_bps=1000))
+    done = []
+
+    def sender(env, nic, tag):
+        yield from Path([nic, trunk]).transfer(1000)
+        done.append((tag, env.now))
+
+    nic_a = Link(env, LinkParams(bandwidth_bps=10000))
+    nic_b = Link(env, LinkParams(bandwidth_bps=10000))
+    env.process(sender(env, nic_a, "a"))
+    env.process(sender(env, nic_b, "b"))
+    env.run()
+    times = dict(done)
+    # both NIC stages overlap (0.1s each), trunk serializes 1s each
+    assert min(times.values()) == pytest.approx(1.1)
+    assert max(times.values()) == pytest.approx(2.1)
+
+
+def test_utilization_hint():
+    env = Environment()
+    link = Link(env, LinkParams(bandwidth_bps=100))
+
+    def sender(env):
+        yield from link.transfer(100)
+        yield env.timeout(1.0)
+
+    env.process(sender(env))
+    env.run()
+    assert link.utilization_hint == pytest.approx(0.5)

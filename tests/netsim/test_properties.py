@@ -1,0 +1,126 @@
+"""Property-based tests of the simulation models: conservation laws and
+lower bounds that must hold for any workload."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import (
+    CostParams,
+    Disk,
+    DiskParams,
+    Link,
+    LinkParams,
+    Path,
+    SimServer,
+    WireRequest,
+    serve_request,
+)
+from repro.sim import Environment
+
+
+def build(env, *, disk_bps=1e6, seek=0.001, link_bps=1e6, latency=0.0):
+    disk = Disk(env, DiskParams(seek_s=seek, read_bps=disk_bps, write_bps=disk_bps))
+    link = Link(env, LinkParams(bandwidth_bps=link_bps, latency_s=latency))
+    return SimServer(env, 0, disk, Path([link]))
+
+
+ZERO = CostParams(
+    client_overhead_s=0.0,
+    spawn_s=0.0,
+    request_header_bytes=0,
+    per_extent_bytes=0,
+)
+
+
+@st.composite
+def request_batches(draw):
+    n = draw(st.integers(1, 6))
+    requests = []
+    for _ in range(n):
+        n_extents = draw(st.integers(1, 4))
+        extents = []
+        pos = draw(st.integers(0, 1000))
+        for _ in range(n_extents):
+            length = draw(st.integers(1, 50_000))
+            extents.append((pos, length))
+            pos += length + draw(st.integers(1, 1000))
+        total = sum(ln for _o, ln in extents)
+        requests.append(
+            WireRequest(0, tuple(extents), total, draw(st.booleans()))
+        )
+    return requests
+
+
+@given(request_batches())
+@settings(max_examples=60, deadline=None)
+def test_bytes_conserved_and_makespan_bounded(requests):
+    """Disk moves exactly the requested bytes; makespan is at least the
+    analytic lower bound (total service / parallelism) and at most the
+    fully-serialized sum."""
+    env = Environment()
+    server = build(env)
+
+    def client(env, request):
+        yield from serve_request(env, server, request, ZERO)
+
+    for request in requests:
+        env.process(client(env, request))
+    env.run()
+
+    total_bytes = sum(r.transfer_bytes for r in requests)
+    assert server.disk.bytes_moved == total_bytes
+    # the link carried the data payloads (headers are zero under ZERO costs)
+    assert server.path.links[0].bytes_moved == total_bytes
+    assert server.requests_served == len(requests)
+
+    # lower bound: everything must at least pass the disk OR the link
+    disk_time = sum(
+        server.disk.params.service_time(r.extents, is_read=r.is_read)
+        for r in requests
+    )
+    link_time = total_bytes / 1e6
+    lower = max(disk_time, link_time) * 0.999
+    upper = (disk_time + link_time) * 1.001 + 1e-9
+    assert lower <= env.now <= upper
+
+
+@given(
+    st.integers(1, 8),
+    st.integers(1_000, 200_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_concurrent_clients_never_beat_bottleneck(n_clients, nbytes):
+    """N identical reads through one disk+link cannot finish faster than
+    N x the disk service time (the device is FIFO capacity-1)."""
+    env = Environment()
+    server = build(env, seek=0.002)
+
+    def client(env):
+        request = WireRequest(0, ((0, nbytes),), nbytes, True)
+        yield from serve_request(env, server, request, ZERO)
+
+    for _ in range(n_clients):
+        env.process(client(env))
+    env.run()
+    per_request_disk = 0.002 + nbytes / 1e6
+    assert env.now >= n_clients * per_request_disk * 0.999
+
+
+@given(st.integers(0, 64 * 1024), st.floats(1e3, 1e8), st.floats(0, 0.1))
+@settings(max_examples=80, deadline=None)
+def test_link_transfer_time_exact(nbytes, bandwidth, latency):
+    env = Environment()
+    link = Link(env, LinkParams(bandwidth_bps=bandwidth, latency_s=latency))
+    done = []
+
+    def sender(env):
+        yield from link.transfer(nbytes)
+        done.append(env.now)
+
+    env.process(sender(env))
+    env.run()
+    expected = nbytes / bandwidth + latency
+    assert math.isclose(done[0], expected, rel_tol=1e-9, abs_tol=1e-12)
+

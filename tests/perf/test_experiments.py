@@ -1,0 +1,78 @@
+"""Experiment runner tests on small workloads."""
+
+import pytest
+
+from repro.core import FileLevel, RoundRobin
+from repro.errors import ConfigError
+from repro.netsim import CLASS1, CLASS3
+from repro.perf import WorkloadSpec, build_workload, run_workload
+
+SMALL = dict(array_shape=(256, 1024), element_size=8, brick_shape=(32, 32))
+
+
+def make(level=FileLevel.MULTIDIM, combine=True, nprocs=4, nservers=4, **kw):
+    merged = {**SMALL, **kw}
+    return build_workload(
+        WorkloadSpec(
+            level=level, combine=combine, nprocs=nprocs, nservers=nservers, **merged
+        ),
+        RoundRobin(nservers),
+    )
+
+
+def test_result_fields_consistent():
+    w = make()
+    r = run_workload(w, [CLASS1] * 4)
+    assert r.makespan_s > 0
+    assert r.useful_bytes == w.useful_bytes
+    assert r.transfer_bytes == w.transfer_bytes
+    assert r.total_requests == w.total_requests
+    assert r.bandwidth_mbps == pytest.approx(
+        (r.useful_bytes / (1024 * 1024)) / r.makespan_s
+    )
+    assert sum(r.per_server_requests) == w.total_requests
+    assert len(r.per_rank_finish) == 4
+    assert max(r.per_rank_finish) == pytest.approx(r.makespan_s)
+
+
+def test_topology_size_checked():
+    w = make()
+    with pytest.raises(ConfigError):
+        run_workload(w, [CLASS1] * 3)
+
+
+def test_deterministic():
+    w1 = make()
+    w2 = make()
+    r1 = run_workload(w1, [CLASS1] * 4)
+    r2 = run_workload(w2, [CLASS1] * 4)
+    assert r1.makespan_s == r2.makespan_s
+
+
+def test_faster_class_faster_run():
+    r1 = run_workload(make(), [CLASS1] * 4)
+    r3 = run_workload(make(), [CLASS3] * 4)
+    assert r1.bandwidth_mbps > r3.bandwidth_mbps
+
+
+def test_more_servers_helps_array_level():
+    few = run_workload(
+        make(level=FileLevel.ARRAY, nservers=2), [CLASS1] * 2
+    )
+    many = run_workload(
+        make(level=FileLevel.ARRAY, nservers=8), [CLASS1] * 8
+    )
+    assert many.bandwidth_mbps > few.bandwidth_mbps
+
+
+def test_disk_busy_reported():
+    r = run_workload(make(), [CLASS1] * 4)
+    assert len(r.per_server_disk_busy) == 4
+    assert all(busy > 0 for busy in r.per_server_disk_busy)
+    assert all(busy <= r.makespan_s for busy in r.per_server_disk_busy)
+
+
+def test_str_rendering():
+    r = run_workload(make(), [CLASS1] * 4)
+    text = str(r)
+    assert "MB/s" in text and "requests" in text

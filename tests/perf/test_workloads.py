@@ -1,0 +1,110 @@
+"""Workload generator tests: request streams for the §8 experiments."""
+
+import pytest
+
+from repro.core import FileLevel, Greedy, RoundRobin
+from repro.errors import ConfigError
+from repro.perf import WorkloadSpec, build_workload
+
+SMALL = dict(array_shape=(256, 1024), element_size=8, brick_shape=(32, 32))
+
+
+def spec(level, combine, nprocs=4, nservers=4, **kw):
+    merged = {**SMALL, **kw}
+    return WorkloadSpec(
+        level=level, combine=combine, nprocs=nprocs, nservers=nservers, **merged
+    )
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        spec(FileLevel.LINEAR, False, nprocs=0).validate()
+    with pytest.raises(ConfigError):
+        build_workload(spec(FileLevel.LINEAR, False), RoundRobin(3))
+
+
+def test_useful_bytes_equals_array_once():
+    w = build_workload(spec(FileLevel.MULTIDIM, True), RoundRobin(4))
+    assert w.useful_bytes == 256 * 1024 * 8
+
+
+def test_linear_transfers_whole_file_per_processor():
+    """(*, BLOCK) on a linear file: every processor touches every brick."""
+    w = build_workload(spec(FileLevel.LINEAR, False), RoundRobin(4))
+    total = w.spec.total_bytes
+    assert w.transfer_bytes == total * 4          # nprocs-fold waste
+    n_bricks = w.striping.brick_count
+    assert w.total_requests == 4 * n_bricks       # one request per brick
+
+
+def test_multidim_transfers_only_needed_bricks():
+    w = build_workload(spec(FileLevel.MULTIDIM, False), RoundRobin(4))
+    # strip width 256 cols = 8 brick-cols; aligned → no waste
+    assert w.transfer_bytes == w.useful_bytes
+    assert w.total_requests < 4 * w.striping.brick_count
+
+
+def test_combination_collapses_to_per_server_requests():
+    base = spec(FileLevel.MULTIDIM, False)
+    w_plain = build_workload(base, RoundRobin(4))
+    w_comb = build_workload(spec(FileLevel.MULTIDIM, True), RoundRobin(4))
+    assert w_comb.total_requests <= 4 * 4          # nprocs × nservers
+    assert w_comb.total_requests < w_plain.total_requests
+    # identical bytes either way
+    assert w_comb.transfer_bytes == w_plain.transfer_bytes
+
+
+def test_array_level_one_request_per_chunk():
+    w = build_workload(spec(FileLevel.ARRAY, False), RoundRobin(4))
+    assert w.total_requests == 4                   # one chunk each
+    assert w.transfer_bytes == w.useful_bytes
+
+
+def test_combined_array_identical_to_array():
+    a = build_workload(spec(FileLevel.ARRAY, False), RoundRobin(4))
+    b = build_workload(spec(FileLevel.ARRAY, True), RoundRobin(4))
+    assert a.total_requests == b.total_requests
+    assert a.transfer_bytes == b.transfer_bytes
+
+
+def test_stagger_rotates_first_server():
+    w = build_workload(spec(FileLevel.MULTIDIM, True, nprocs=4), RoundRobin(4))
+    firsts = [p.requests[0].server for p in w.plans]
+    assert firsts == [0, 1, 2, 3]
+
+
+def test_write_direction_flag():
+    w = build_workload(
+        spec(FileLevel.MULTIDIM, True, access_pattern="(BLOCK, *)", is_read=False),
+        RoundRobin(4),
+    )
+    assert all(not r.is_read for p in w.plans for r in p.requests)
+
+
+def test_greedy_policy_shifts_requests_to_fast_servers():
+    policy = Greedy([1.0, 1.0, 3.0, 3.0])
+    w = build_workload(
+        spec(FileLevel.MULTIDIM, True, access_pattern="(BLOCK, *)"), policy
+    )
+    counts = w.brick_map.bricks_per_server()
+    assert counts[0] == counts[1] > counts[2] == counts[3]
+    assert counts[0] == 3 * counts[2]
+
+
+def test_extents_coalesced_in_wire_requests():
+    w = build_workload(spec(FileLevel.LINEAR, True), RoundRobin(4))
+    for plan in w.plans:
+        for request in plan.requests:
+            # a linear (*, BLOCK) reader takes every brick: per server the
+            # subfile is read end to end → exactly one coalesced extent
+            assert len(request.extents) == 1
+
+
+def test_brick_granularity_linear_partial_use():
+    """Even though each processor needs 1/nprocs of each brick, whole
+    bricks cross the wire (the paper's discard semantics)."""
+    w = build_workload(spec(FileLevel.LINEAR, False, nprocs=2), RoundRobin(4))
+    brick = w.striping.brick_size
+    for plan in w.plans:
+        for request in plan.requests:
+            assert request.transfer_bytes == brick

@@ -1,0 +1,212 @@
+"""Shell command tests (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DPFS
+from repro.errors import DPFSError
+from repro.shell import CommandError, Shell
+
+
+@pytest.fixture
+def sh(fs):
+    return Shell(fs)
+
+
+def test_pwd_and_cd(sh):
+    assert sh.run_line("pwd") == "/"
+    sh.run_line("mkdir /home")
+    sh.run_line("cd /home")
+    assert sh.run_line("pwd") == "/home"
+    sh.run_line("cd ..")
+    assert sh.run_line("pwd") == "/"
+    with pytest.raises(CommandError):
+        sh.run_line("cd /nope")
+
+
+def test_relative_paths_resolved(sh):
+    sh.run_line("mkdir -p /a/b")
+    sh.run_line("cd /a")
+    sh.run_line("mkdir c")
+    assert sh.state.fs.isdir("/a/c")
+
+
+def test_mkdir_p_and_rmdir(sh):
+    sh.run_line("mkdir -p /x/y/z")
+    assert sh.state.fs.isdir("/x/y/z")
+    sh.run_line("rmdir /x/y/z")
+    assert not sh.state.fs.exists("/x/y/z")
+    with pytest.raises(DPFSError):
+        sh.run_line("rmdir /x")  # not empty
+
+
+def test_mkdir_missing_operand(sh):
+    with pytest.raises(CommandError):
+        sh.run_line("mkdir")
+
+
+def test_ls_short_and_long(sh, fs):
+    fs.makedirs("/d")
+    fs.write_file("/f", b"hello")
+    short = sh.run_line("ls /")
+    assert "d/" in short and "f" in short
+    long = sh.run_line("ls -l /")
+    assert "linear" in long
+    assert "5" in long
+
+
+def test_ls_on_file(sh, fs):
+    fs.write_file("/f", b"hello")
+    out = sh.run_line("ls -l /f")
+    assert "f" in out
+
+
+def test_rm(sh, fs):
+    fs.write_file("/f", b"x")
+    sh.run_line("rm /f")
+    assert not fs.exists("/f")
+    with pytest.raises(DPFSError):
+        sh.run_line("rm /f")
+
+
+def test_chmod_and_stat(sh, fs):
+    fs.write_file("/f", b"x")
+    sh.run_line("chmod 600 /f")
+    out = sh.run_line("stat /f")
+    assert "permission: 600" in out
+    with pytest.raises(CommandError):
+        sh.run_line("chmod banana /f")
+
+
+def test_stat_directory(sh, fs):
+    fs.mkdir("/d")
+    assert "directory" in sh.run_line("stat /d")
+
+
+def test_cat(sh, fs):
+    fs.write_file("/f", "grüße\n".encode())
+    assert sh.run_line("cat /f") == "grüße\n"
+
+
+def test_put_get_roundtrip(sh, tmp_path):
+    src = tmp_path / "in.bin"
+    src.write_bytes(b"payload" * 100)
+    out = sh.run_line(f"put {src} /data")
+    assert "imported" in out
+    dst = tmp_path / "out.bin"
+    sh.run_line(f"get /data {dst}")
+    assert dst.read_bytes() == src.read_bytes()
+
+
+def test_put_with_multidim_flags(sh, tmp_path, fs):
+    arr = np.arange(16 * 16, dtype=np.float64)
+    src = tmp_path / "a.bin"
+    src.write_bytes(arr.tobytes())
+    sh.run_line(
+        f"put --level multidim --shape 16x16 --brick-shape 4x4 "
+        f"--element-size 8 {src} /array"
+    )
+    st = fs.stat("/array")
+    assert st["filelevel"] == "multidim"
+    assert st["geometry"]["brick_shape"] == [4, 4]
+
+
+def test_cp_plain_and_restriped(sh, fs):
+    fs.write_file("/a", bytes(range(256)))
+    sh.run_line("cp /a /b")
+    assert fs.read_file("/b") == bytes(range(256))
+    sh.run_line(
+        "cp --level multidim --shape 16x16 --brick-shape 8x8 "
+        "--element-size 1 /a /c"
+    )
+    assert fs.stat("/c")["filelevel"] == "multidim"
+    assert fs.read_file("/c") == bytes(range(256))
+
+
+def test_cp_array_level_flags(sh, fs):
+    fs.write_file("/a", bytes(256))
+    sh.run_line(
+        "cp --level array --shape 16x16 --pattern '(BLOCK, *)' "
+        "--nprocs 4 --element-size 1 /a /b"
+    )
+    assert fs.stat("/b")["geometry"]["pattern"] == "(BLOCK, *)"
+
+
+def test_flag_validation(sh):
+    with pytest.raises(CommandError):
+        sh.run_line("cp --level multidim /a /b")  # missing shape
+    with pytest.raises(CommandError):
+        sh.run_line("cp --level wat /a /b")
+    with pytest.raises(CommandError):
+        sh.run_line("cp --level")  # missing value
+    with pytest.raises(CommandError):
+        sh.run_line("cp onlyone")
+
+
+def test_df_lists_servers(sh):
+    out = sh.run_line("df")
+    assert "mem0" in out and "mem3" in out
+
+
+def test_bricks_command(sh, fs):
+    fs.write_file("/f", b"z" * 1000)
+    out = sh.run_line("bricks /f")
+    assert "server 0" in out
+
+
+def test_help(sh):
+    out = sh.run_line("help")
+    for name in ("ls", "cp", "mkdir", "rm", "pwd", "put", "get"):
+        assert name in out
+    assert "cp" in sh.run_line("help cp")
+    with pytest.raises(CommandError):
+        sh.run_line("help nosuch")
+
+
+def test_unknown_command(sh):
+    with pytest.raises(CommandError):
+        sh.run_line("frobnicate")
+
+
+def test_empty_and_comment_lines(sh):
+    assert sh.run_line("") == ""
+    assert sh.run_line("   # just a comment") == ""
+
+
+def test_run_script(sh, fs):
+    outputs = sh.run_script(["mkdir /s", "cd /s", "pwd"])
+    assert outputs[-1] == "/s"
+
+
+def test_repl_loop(fs):
+    import io
+
+    shell = Shell(fs)
+    stdin = io.StringIO("mkdir /via-repl\nbadcmd\nls /\nexit\n")
+    stdout = io.StringIO()
+    shell.repl(stdin=stdin, stdout=stdout)
+    text = stdout.getvalue()
+    assert "via-repl/" in text
+    assert "error:" in text
+    assert fs.isdir("/via-repl")
+
+
+def test_mv(sh, fs):
+    fs.write_file("/a", b"data")
+    sh.run_line("mv /a /b")
+    assert fs.read_file("/b") == b"data"
+    with pytest.raises(CommandError):
+        sh.run_line("mv /only-one")
+
+
+def test_du_command(sh, fs):
+    fs.makedirs("/d")
+    fs.write_file("/d/f", b"x" * 123)
+    out = sh.run_line("du /d")
+    assert out.startswith("123\t")
+
+
+def test_df_shows_usage(sh, fs):
+    fs.write_file("/f", b"x" * 5000)
+    out = sh.run_line("df")
+    assert "used" in out or "avail" in out

@@ -1,0 +1,305 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        log.append(env.now)
+        yield env.timeout(1.5)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [2.5, 4.0]
+    assert env.now == 4.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        value = yield env.timeout(1, value="payload")
+        got.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert got == ["payload"]
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(env, 3, "c"))
+    env.process(proc(env, 1, "a"))
+    env.process(proc(env, 2, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_for_simultaneous_events():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_returns_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        return 42
+
+    def parent(env, out):
+        result = yield env.process(child(env))
+        out.append(result)
+
+    out = []
+    env.process(parent(env, out))
+    env.run()
+    assert out == [42]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    evt = env.event()
+    got = []
+
+    def waiter(env):
+        value = yield evt
+        got.append((env.now, value))
+
+    def trigger(env):
+        yield env.timeout(5)
+        evt.succeed("done")
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert got == [(5.0, "done")]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    evt = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield evt
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def trigger(env):
+        yield env.timeout(1)
+        evt.fail(ValueError("boom"))
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    evt = env.event()
+    evt.succeed()
+    with pytest.raises(SimulationError):
+        evt.succeed()
+
+
+def test_value_before_trigger_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().value
+
+
+def test_unhandled_process_exception_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise RuntimeError("kaput")
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="kaput"):
+        env.run()
+
+
+def test_yielding_non_event_raises_at_yield():
+    env = Environment()
+    caught = []
+
+    def bad(env):
+        try:
+            yield 42
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    env.process(bad(env))
+    env.run()
+    assert caught and "non-event" in caught[0]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1)
+
+    env.process(ticker(env))
+    env.run(until=3.5)
+    assert env.now == 3.5
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2)
+        return "finished"
+
+    proc = env.process(child(env))
+    assert env.run(until=proc) == "finished"
+    assert env.now == 2.0
+
+
+def test_run_until_past_deadline_rejected():
+    env = Environment()
+
+    def noop(env):
+        yield env.timeout(1)
+
+    env.process(noop(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        env.run(until=env.now - 1)
+
+
+def test_run_until_unreachable_event_raises():
+    env = Environment()
+    orphan = env.event()  # never triggered
+
+    def proc(env):
+        yield env.timeout(1)
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run(until=orphan)
+
+
+def test_all_of_waits_for_every_child():
+    env = Environment()
+    done = []
+
+    def child(env, d):
+        yield env.timeout(d)
+        return d
+
+    def parent(env):
+        procs = [env.process(child(env, d)) for d in (3, 1, 2)]
+        results = yield AllOf(env, procs)
+        done.append((env.now, sorted(results.values())))
+
+    env.process(parent(env))
+    env.run()
+    assert done == [(3.0, [1, 2, 3])]
+
+
+def test_any_of_fires_on_first_child():
+    env = Environment()
+    done = []
+
+    def child(env, d):
+        yield env.timeout(d)
+        return d
+
+    def parent(env):
+        procs = [env.process(child(env, d)) for d in (3, 1, 2)]
+        results = yield AnyOf(env, procs)
+        done.append((env.now, list(results.values())))
+
+    env.process(parent(env))
+    env.run()
+    assert done == [(1.0, [1])]
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            log.append((env.now, exc.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(2)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(2.0, "wake up")]
+
+
+def test_interrupt_terminated_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(7)
+
+    env.process(proc(env))
+    env.step()  # process the init event
+    assert env.peek() == 7.0
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]

@@ -1,0 +1,69 @@
+"""Unit tests for simulation statistics collectors."""
+
+import math
+
+import pytest
+
+from repro.sim import Environment, Tally, TimeWeighted, Trace
+
+
+def test_tally_empty():
+    t = Tally()
+    assert t.count == 0
+    assert math.isnan(t.mean)
+    assert math.isnan(t.variance)
+
+
+def test_tally_moments():
+    t = Tally("latency")
+    for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        t.observe(v)
+    assert t.count == 8
+    assert t.mean == pytest.approx(5.0)
+    assert t.minimum == 2.0
+    assert t.maximum == 9.0
+    assert t.total == pytest.approx(40.0)
+    # sample variance of that classic dataset is 32/7
+    assert t.variance == pytest.approx(32 / 7)
+    assert t.stdev == pytest.approx(math.sqrt(32 / 7))
+
+
+def test_tally_single_observation_variance_zero():
+    t = Tally()
+    t.observe(3.0)
+    assert t.variance == 0.0
+
+
+def test_time_weighted_average():
+    env = Environment()
+    tw = TimeWeighted(env, initial=0.0)
+
+    def proc(env):
+        yield env.timeout(2)
+        tw.set(4)            # level 0 for [0,2), 4 for [2,6)
+        yield env.timeout(4)
+        tw.set(0)
+        yield env.timeout(2)
+
+    env.process(proc(env))
+    env.run()
+    # integral = 0*2 + 4*4 + 0*2 = 16 over 8 seconds
+    assert tw.time_average() == pytest.approx(2.0)
+    assert tw.maximum == 4
+
+
+def test_time_weighted_add():
+    env = Environment()
+    tw = TimeWeighted(env, initial=1.0)
+    tw.add(2.5)
+    assert tw.level == 3.5
+    tw.add(-1.5)
+    assert tw.level == 2.0
+
+
+def test_trace_records():
+    tr = Trace("queue")
+    tr.record(0.0, 1)
+    tr.record(2.0, 3)
+    assert tr.values() == [1, 3]
+    assert tr.times() == [0.0, 2.0]

@@ -1,0 +1,249 @@
+"""Unit tests for simulation resources: Resource, PriorityResource, Store,
+Container."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+def test_resource_serializes_capacity_one():
+    env = Environment()
+    spans = []
+
+    def worker(env, res, tag):
+        with res.request() as req:
+            yield req
+            start = env.now
+            yield env.timeout(2)
+            spans.append((tag, start, env.now))
+
+    res = Resource(env, capacity=1)
+    for tag in range(3):
+        env.process(worker(env, res, tag))
+    env.run()
+    assert spans == [(0, 0.0, 2.0), (1, 2.0, 4.0), (2, 4.0, 6.0)]
+
+
+def test_resource_capacity_two_overlaps():
+    env = Environment()
+    finished = []
+
+    def worker(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(2)
+            finished.append(env.now)
+
+    res = Resource(env, capacity=2)
+    for _ in range(4):
+        env.process(worker(env, res))
+    env.run()
+    assert finished == [2.0, 2.0, 4.0, 4.0]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    order = []
+
+    def worker(env, res, tag, delay):
+        yield env.timeout(delay)
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(10)
+
+    res = Resource(env, capacity=1)
+    env.process(worker(env, res, "first", 0))
+    env.process(worker(env, res, "second", 1))
+    env.process(worker(env, res, "third", 2))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_release_of_queued_request_cancels_it():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    held = res.request()
+    queued = res.request()
+    assert not queued.triggered
+    res.release(queued)  # cancel while still waiting
+    res.release(held)
+    assert res.count == 0
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    a = res.request()
+    b = res.request()
+    c = res.request()
+    assert res.count == 2
+    assert res.queue_length == 1
+    res.release(a)
+    assert res.count == 2  # c granted
+    assert c.triggered
+    res.release(b)
+    res.release(c)
+    assert res.count == 0
+
+
+def test_bad_capacity_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_priority_resource_orders_waiters():
+    env = Environment()
+    order = []
+
+    def worker(env, res, prio, tag):
+        yield env.timeout(0.1)  # let the holder grab it first
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1)
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    res = PriorityResource(env, capacity=1)
+    env.process(holder(env, res))
+    env.process(worker(env, res, 5, "low"))
+    env.process(worker(env, res, 1, "high"))
+    env.process(worker(env, res, 3, "mid"))
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_store_fifo():
+    env = Environment()
+    got = []
+
+    def producer(env, store):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    store = Store(env)
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    times = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(4)
+        yield store.put("x")
+
+    store = Store(env)
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert times == [(4.0, "x")]
+
+
+def test_store_capacity_backpressure():
+    env = Environment()
+    put_times = []
+
+    def producer(env, store):
+        for i in range(3):
+            yield store.put(i)
+            put_times.append(env.now)
+
+    def consumer(env, store):
+        yield env.timeout(5)
+        yield store.get()
+
+    store = Store(env, capacity=2)
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    # first two puts immediate; third blocked until the get at t=5
+    assert put_times == [0.0, 0.0, 5.0]
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_container_levels():
+    env = Environment()
+    container = Container(env, capacity=10, init=5)
+    assert container.level == 5
+
+    def taker(env, c):
+        yield c.get(3)
+
+    env.process(taker(env, container))
+    env.run()
+    assert container.level == 2
+
+
+def test_container_get_blocks_until_put():
+    env = Environment()
+    times = []
+
+    def taker(env, c):
+        yield c.get(4)
+        times.append(env.now)
+
+    def filler(env, c):
+        yield env.timeout(2)
+        yield c.put(2)
+        yield env.timeout(2)
+        yield c.put(2)
+
+    container = Container(env, capacity=10)
+    env.process(taker(env, container))
+    env.process(filler(env, container))
+    env.run()
+    assert times == [4.0]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    times = []
+
+    def filler(env, c):
+        yield c.put(8)
+        yield c.put(5)  # would exceed capacity 10
+        times.append(env.now)
+
+    def drainer(env, c):
+        yield env.timeout(3)
+        yield c.get(6)
+
+    container = Container(env, capacity=10)
+    env.process(filler(env, container))
+    env.process(drainer(env, container))
+    env.run()
+    assert times == [3.0]
+
+
+def test_container_rejects_nonpositive_amounts():
+    env = Environment()
+    container = Container(env, capacity=10)
+    with pytest.raises(SimulationError):
+        container.put(0)
+    with pytest.raises(SimulationError):
+        container.get(-1)

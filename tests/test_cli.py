@@ -1,0 +1,65 @@
+"""CLI entry-point tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["shell", "--root", "/tmp/x", "-c", "pwd"])
+    assert args.command == "shell"
+    args = parser.parse_args(["server", "--root", "/tmp/x", "--port", "0"])
+    assert args.command == "server"
+    args = parser.parse_args(["bench", "fig11", "--rows", "128"])
+    assert args.figure == "fig11" and args.rows == 128
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_shell_one_shot_command(tmp_path, capsys):
+    root = tmp_path / "dpfs"
+    rc = main(["shell", "--root", str(root), "-c", "mkdir /made"])
+    assert rc == 0
+    rc = main(["shell", "--root", str(root), "-c", "ls /"])
+    assert rc == 0
+    assert "made/" in capsys.readouterr().out
+
+
+def test_shell_one_shot_error(tmp_path, capsys):
+    rc = main(["shell", "--root", str(tmp_path / "d"), "-c", "rm /ghost"])
+    assert rc == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_bench_small_fig13(capsys):
+    rc = main(["bench", "fig13", "--rows", "256", "--cols", "1024"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 13" in out
+    assert "greedy" in out and "round_robin" in out
+
+
+def test_bench_small_fig11(capsys):
+    rc = main(["bench", "fig11", "--rows", "256", "--cols", "2048"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Combined Multi-dim" in out
+    assert "Class 1" in out and "Class 3" in out
+
+
+def test_fsck_subcommand(tmp_path, capsys):
+    root = tmp_path / "dpfs"
+    assert main(["shell", "--root", str(root), "-c", "mkdir /d"]) == 0
+    capsys.readouterr()
+    assert main(["fsck", "--root", str(root)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+    # introduce an orphan subfile, fsck non-zero, repair fixes it
+    (root / "server_0" / "stray").write_bytes(b"junk")
+    assert main(["fsck", "--root", str(root)]) == 1
+    capsys.readouterr()
+    assert main(["fsck", "--root", str(root), "--repair"]) == 0
+    assert main(["fsck", "--root", str(root)]) == 0

@@ -1,0 +1,173 @@
+"""Cross-module integration scenarios: durable namespaces, parallel
+clients, the full paper workflow end to end."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DPFS, FileLevel, Hint, export_file, import_file
+from repro.hpf import decompose
+from repro.net import DPFSServer, RemoteBackend
+from repro.shell import Shell
+
+
+def test_local_fs_survives_reopen(tmp_path):
+    """Metadata (snapshot + WAL) and subfiles persist across mounts."""
+    root = tmp_path / "dpfs"
+    fs = DPFS.local(root, n_servers=3)
+    fs.makedirs("/proj/run1")
+    data = np.arange(64 * 64, dtype=np.float64).reshape(64, 64)
+    hint = Hint.multidim((64, 64), 8, (16, 16))
+    with fs.open("/proj/run1/field", "w", hint=hint) as handle:
+        handle.write_array((0, 0), data)
+    fs.close()
+
+    fs2 = DPFS.local(root, n_servers=3)
+    assert fs2.isdir("/proj/run1")
+    with fs2.open("/proj/run1/field", "r") as handle:
+        assert handle.level is FileLevel.MULTIDIM
+        got = handle.read_array((16, 0), (16, 64), np.float64)
+    assert np.array_equal(got, data[16:32])
+    fs2.close()
+
+
+def test_parallel_ranks_write_disjoint_regions(fs):
+    """Eight threads play eight application ranks under (BLOCK, *)."""
+    shape = (64, 64)
+    nprocs = 8
+    hint = Hint.multidim(shape, 8, (8, 8))
+    with fs.open("/shared", "w", hint=hint) as handle:
+        handle.write_array((0, 0), np.zeros(shape))
+    regions = decompose(shape, "(BLOCK, *)", nprocs)
+    errors = []
+
+    def worker(rank):
+        try:
+            region = regions[rank]
+            block = np.full(region.shape, float(rank + 1))
+            with fs.open("/shared", "r+", rank=rank) as handle:
+                handle.write_array(region.starts, block)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(r,)) for r in range(nprocs)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    with fs.open("/shared", "r") as handle:
+        got = handle.read_array((0, 0), shape, np.float64)
+    for rank, region in enumerate(regions):
+        sub = got[
+            region.starts[0] : region.stops[0],
+            region.starts[1] : region.stops[1],
+        ]
+        assert np.all(sub == rank + 1)
+
+
+def test_checkpoint_restart_cycle(fs):
+    """The §3.3 motivating scenario: periodic dumps, then restart."""
+    shape = (32, 32)
+    nprocs = 4
+    rng = np.random.default_rng(7)
+    state = rng.random(shape)
+    hint = Hint.array(shape, 8, "(BLOCK, *)", nprocs=nprocs)
+    chunk_rows = shape[0] // nprocs
+    fs.makedirs("/ckpt")
+    with fs.open("/ckpt/step100", "w", hint=hint) as handle:
+        for rank in range(nprocs):
+            lo = rank * chunk_rows
+            handle.write_chunk(state[lo : lo + chunk_rows].tobytes(), rank=rank)
+
+    # 'application restart': every rank reads its chunk back in 1 request
+    for rank in range(nprocs):
+        with fs.open("/ckpt/step100", "r", rank=rank) as handle:
+            blob = handle.read_chunk()
+            assert handle.stats.requests == 1
+        got = np.frombuffer(blob, np.float64).reshape(chunk_rows, shape[1])
+        lo = rank * chunk_rows
+        assert np.array_equal(got, state[lo : lo + chunk_rows])
+
+
+def test_full_paper_workflow_over_tcp(tmp_path):
+    """Servers over real sockets + shell + import/export + greedy file."""
+    servers = [
+        DPFSServer(tmp_path / f"s{i}", performance=perf).start()
+        for i, perf in enumerate([1.0, 1.0, 3.0])
+    ]
+    try:
+        fs = DPFS(RemoteBackend([s.address for s in servers]))
+        shell = Shell(fs)
+        shell.run_line("mkdir -p /home/user")
+
+        # import a sequential file with a greedy multidim layout
+        arr = np.arange(32 * 32, dtype=np.float64).reshape(32, 32)
+        src = tmp_path / "input.bin"
+        src.write_bytes(arr.tobytes())
+        import_file(
+            fs,
+            src,
+            "/home/user/data",
+            hint=Hint.multidim((32, 32), 8, (8, 8), placement="greedy"),
+        )
+
+        # greedy splits 16 bricks over speeds (1, 1, 1/3): shares
+        # 3/7, 3/7, 1/7 -> 7, 7, 2
+        _record, bmap = fs.meta.load_file("/home/user/data")
+        assert bmap.bricks_per_server() == [7, 7, 2]
+
+        # column read through the API
+        with fs.open("/home/user/data", "r") as handle:
+            col = handle.read_array((0, 8), (32, 8), np.float64)
+        assert np.array_equal(col, arr[:, 8:16])
+
+        # export back out and compare
+        out = tmp_path / "output.bin"
+        export_file(fs, "/home/user/data", out)
+        assert out.read_bytes() == arr.tobytes()
+
+        # shell sees everything
+        assert "data" in shell.run_line("ls /home/user")
+        assert "multidim" in shell.run_line("stat /home/user/data")
+        fs.close()
+    finally:
+        for s in servers:
+            s.stop()
+
+
+def test_mixed_levels_same_namespace(fs):
+    """Linear log + multidim field + array checkpoint coexist."""
+    fs.makedirs("/run")
+    with fs.open("/run/log", "w", hint=Hint.linear(brick_size=32)) as log:
+        for i in range(10):
+            log.write(log.size, f"step {i}\n".encode())
+    field = np.random.default_rng(0).random((16, 16))
+    with fs.open(
+        "/run/field", "w", hint=Hint.multidim((16, 16), 8, (4, 4))
+    ) as handle:
+        handle.write_array((0, 0), field)
+    fs.write_file(
+        "/run/ckpt",
+        field.tobytes(),
+        hint=Hint.array((16, 16), 8, "(BLOCK, BLOCK)", nprocs=4),
+    )
+    dirs, files = fs.listdir("/run")
+    assert files == ["ckpt", "field", "log"]
+    levels = {fs.stat(f"/run/{name}")["filelevel"] for name in files}
+    assert levels == {"linear", "multidim", "array"}
+    assert fs.read_file("/run/log").decode().count("step") == 10
+
+
+def test_hetero_greedy_end_to_end(fs_hetero):
+    """Greedy files on heterogeneous servers still read back correctly."""
+    data = np.random.default_rng(3).bytes(64 * 100)
+    fs_hetero.write_file(
+        "/f", data, hint=Hint.linear(file_size=len(data), brick_size=100,
+                                     placement="greedy")
+    )
+    assert fs_hetero.read_file("/f") == data
+    _record, bmap = fs_hetero.meta.load_file("/f")
+    counts = bmap.bricks_per_server()
+    assert counts[0] == 3 * counts[2]

@@ -1,0 +1,117 @@
+"""Tests for shared helpers (extent math, size parsing, indexing)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import (
+    ceil_div,
+    clip_extent,
+    coalesce_extents,
+    format_bytes,
+    parse_size,
+    row_major_coords,
+    row_major_index,
+    split_extent,
+    total_extent_bytes,
+)
+
+
+def test_ceil_div():
+    assert ceil_div(0, 5) == 0
+    assert ceil_div(10, 5) == 2
+    assert ceil_div(11, 5) == 3
+    with pytest.raises(ValueError):
+        ceil_div(1, 0)
+
+
+def test_coalesce_merges_overlap_and_adjacency():
+    assert coalesce_extents([(0, 10), (10, 5)]) == [(0, 15)]
+    assert coalesce_extents([(0, 10), (5, 10)]) == [(0, 15)]
+    assert coalesce_extents([(20, 5), (0, 5)]) == [(0, 5), (20, 5)]
+    assert coalesce_extents([(0, 10), (2, 3)]) == [(0, 10)]  # contained
+    assert coalesce_extents([]) == []
+    assert coalesce_extents([(5, 0)]) == []  # zero-length dropped
+
+
+def test_total_extent_bytes():
+    assert total_extent_bytes([(0, 3), (100, 7)]) == 10
+
+
+def test_clip_extent():
+    assert clip_extent((0, 10), (5, 10)) == (5, 5)
+    assert clip_extent((5, 10), (0, 7)) == (5, 2)
+    assert clip_extent((0, 5), (5, 5)) is None
+    assert clip_extent((3, 4), (0, 100)) == (3, 4)
+
+
+def test_split_extent():
+    assert split_extent((10, 25), 10) == [(10, 10), (20, 10), (30, 5)]
+    assert split_extent((0, 5), 100) == [(0, 5)]
+    assert split_extent((0, 0), 4) == []
+    with pytest.raises(ValueError):
+        split_extent((0, 5), 0)
+
+
+def test_format_bytes():
+    assert format_bytes(0) == "0 B"
+    assert format_bytes(1023) == "1023 B"
+    assert format_bytes(2048) == "2.0 KiB"
+    assert format_bytes(2 * 1024 * 1024) == "2.0 MiB"
+    assert format_bytes(-2048) == "-2.0 KiB"
+
+
+def test_parse_size():
+    assert parse_size("123") == 123
+    assert parse_size("64K") == 64 * 1024
+    assert parse_size("64KiB") == 64 * 1024
+    assert parse_size("2m") == 2 * 1024 * 1024
+    assert parse_size("1.5K") == 1536
+    assert parse_size(" 3 GB ") == 3 * 1024**3
+    with pytest.raises(ValueError):
+        parse_size("abc")
+    with pytest.raises(ValueError):
+        parse_size("1.0001K")  # fractional bytes
+
+
+def test_row_major_roundtrip():
+    shape = (3, 4, 5)
+    assert row_major_index((0, 0, 0), shape) == 0
+    assert row_major_index((2, 3, 4), shape) == 59
+    assert row_major_coords(23, shape) == (1, 0, 3)
+    with pytest.raises(ValueError):
+        row_major_index((3, 0, 0), shape)
+    with pytest.raises(ValueError):
+        row_major_coords(60, shape)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(0, 100)), max_size=20
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_coalesce_preserves_byte_set(extents):
+    merged = coalesce_extents(extents)
+    covered = set()
+    for off, ln in extents:
+        covered.update(range(off, off + ln))
+    merged_set = set()
+    for off, ln in merged:
+        merged_set.update(range(off, off + ln))
+    assert merged_set == covered
+    # sorted and disjoint with gaps
+    for (o1, l1), (o2, _l2) in zip(merged, merged[1:]):
+        assert o1 + l1 < o2
+
+
+@given(st.integers(0, 10_000), st.integers(0, 5_000), st.integers(1, 999))
+@settings(max_examples=150, deadline=None)
+def test_split_extent_partitions(off, ln, chunk):
+    pieces = split_extent((off, ln), chunk)
+    assert sum(p[1] for p in pieces) == ln
+    pos = off
+    for p_off, p_len in pieces:
+        assert p_off == pos
+        assert 0 < p_len <= chunk
+        pos += p_len
