@@ -2,7 +2,7 @@
 plus a fault-injection wrapper for tests."""
 
 from .base import ServerInfo, StorageBackend
-from .faulty import FaultyBackend, InjectedFault
+from .faulty import FaultyBackend, InjectedFault, TransientFault
 from .local import LocalBackend
 from .memory import MemoryBackend
 from .simulated import SimulatedBackend
@@ -15,4 +15,5 @@ __all__ = [
     "SimulatedBackend",
     "FaultyBackend",
     "InjectedFault",
+    "TransientFault",
 ]

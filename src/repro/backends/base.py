@@ -40,6 +40,12 @@ class ServerInfo:
 class StorageBackend(ABC):
     """Abstract DPFS server pool."""
 
+    #: Whether :meth:`read_extents`/:meth:`write_extents` may be called
+    #: concurrently from multiple threads (the parallel dispatch layer
+    #: does).  Backends that cannot tolerate that set this False and the
+    #: file system drives them with one worker.
+    parallel_safe: bool = True
+
     @property
     @abstractmethod
     def servers(self) -> list[ServerInfo]:

@@ -7,10 +7,17 @@ and that the metadata layer never ends up inconsistent with storage.
     faulty = FaultyBackend(MemoryBackend(4))
     faulty.fail_next("write", times=1)          # next write raises
     faulty.fail_on("read", server=2)            # every read on server 2
+    faulty.fail_next("read", transient=True)    # retryable by dispatch
+
+Faults scheduled with ``transient=True`` raise :class:`TransientFault`,
+which the parallel dispatch layer (repro.core.dispatch) retries with
+backoff; plain :class:`InjectedFault` is permanent and propagates on
+first occurrence.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass
 from collections.abc import Sequence
@@ -19,11 +26,17 @@ from ..errors import FileSystemError
 from ..util import Extent
 from .base import ServerInfo, StorageBackend
 
-__all__ = ["InjectedFault", "FaultyBackend"]
+__all__ = ["InjectedFault", "TransientFault", "FaultyBackend"]
 
 
 class InjectedFault(FileSystemError):
     """The error raised by scheduled faults."""
+
+
+class TransientFault(InjectedFault):
+    """A scheduled fault marked safe to retry (``transient=True``)."""
+
+    transient = True
 
 
 @dataclass
@@ -31,6 +44,7 @@ class _Rule:
     op: str
     server: int | None = None        # None = any server
     times: int | None = None         # None = forever
+    transient: bool = False
     fired: int = 0
 
     def matches(self, op: str, server: int) -> bool:
@@ -47,31 +61,53 @@ class FaultyBackend(StorageBackend):
     def __init__(self, inner: StorageBackend) -> None:
         self.inner = inner
         self._rules: list[_Rule] = []
+        # rule matching is check-then-fire; the lock keeps a times=N
+        # rule from over-firing under concurrent dispatch workers
+        self._rules_lock = threading.Lock()
         self.faults_fired: dict[str, int] = defaultdict(int)
 
     # -- scheduling -----------------------------------------------------------
-    def fail_next(self, op: str, times: int = 1, server: int | None = None) -> None:
+    def fail_next(
+        self,
+        op: str,
+        times: int = 1,
+        server: int | None = None,
+        *,
+        transient: bool = False,
+    ) -> None:
         """Fail the next ``times`` occurrences of ``op``."""
-        self._rules.append(_Rule(op, server, times))
+        with self._rules_lock:
+            self._rules.append(_Rule(op, server, times, transient))
 
-    def fail_on(self, op: str, server: int | None = None) -> None:
+    def fail_on(
+        self, op: str, server: int | None = None, *, transient: bool = False
+    ) -> None:
         """Fail every occurrence of ``op`` until :meth:`heal`."""
-        self._rules.append(_Rule(op, server, None))
+        with self._rules_lock:
+            self._rules.append(_Rule(op, server, None, transient))
 
     def heal(self) -> None:
         """Drop every fault rule."""
-        self._rules.clear()
+        with self._rules_lock:
+            self._rules.clear()
 
     def _maybe_fail(self, op: str, server: int) -> None:
-        for rule in self._rules:
-            if rule.matches(op, server):
-                rule.fired += 1
-                self.faults_fired[op] += 1
-                raise InjectedFault(
-                    f"injected {op} fault on server {server}"
-                )
+        with self._rules_lock:
+            for rule in self._rules:
+                if rule.matches(op, server):
+                    rule.fired += 1
+                    self.faults_fired[op] += 1
+                    exc_type = TransientFault if rule.transient else InjectedFault
+                    kind = "transient " if rule.transient else ""
+                    raise exc_type(
+                        f"injected {kind}{op} fault on server {server}"
+                    )
 
     # -- delegation ---------------------------------------------------------
+    @property
+    def parallel_safe(self) -> bool:  # type: ignore[override]
+        return self.inner.parallel_safe
+
     @property
     def servers(self) -> list[ServerInfo]:
         return self.inner.servers

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
 
 from ..errors import FileSystemError
@@ -36,6 +37,11 @@ class MemoryBackend(StorageBackend):
             for i in range(n_servers)
         ]
         self._store: list[dict[str, bytearray]] = [dict() for _ in range(n_servers)]
+        # one lock per server: extents from concurrent dispatch workers
+        # may interleave on the same subfile (the grow-then-assign in
+        # write_extents is not atomic), mirroring the real server's
+        # per-device I/O serialization
+        self._io_locks = [threading.Lock() for _ in range(n_servers)]
 
     @property
     def servers(self) -> list[ServerInfo]:
@@ -78,34 +84,36 @@ class MemoryBackend(StorageBackend):
         self, server: int, name: str, extents: Sequence[Extent]
     ) -> bytes:
         self._check_server(server)
-        blob = self._store[server].get(name)
-        if blob is None:
-            raise FileSystemError(f"no subfile {name!r} on server {server}")
-        out = bytearray()
-        size = len(blob)
-        for off, ln in extents:
-            if off < 0 or ln < 0:
-                raise FileSystemError(f"invalid extent ({off}, {ln})")
-            chunk = bytes(blob[off : min(off + ln, size)])
-            if len(chunk) < ln:                       # sparse tail → zeros
-                chunk += b"\x00" * (ln - len(chunk))
-            out += chunk
-        return bytes(out)
+        with self._io_locks[server]:
+            blob = self._store[server].get(name)
+            if blob is None:
+                raise FileSystemError(f"no subfile {name!r} on server {server}")
+            out = bytearray()
+            size = len(blob)
+            for off, ln in extents:
+                if off < 0 or ln < 0:
+                    raise FileSystemError(f"invalid extent ({off}, {ln})")
+                chunk = bytes(blob[off : min(off + ln, size)])
+                if len(chunk) < ln:                   # sparse tail → zeros
+                    chunk += b"\x00" * (ln - len(chunk))
+                out += chunk
+            return bytes(out)
 
     def write_extents(
         self, server: int, name: str, extents: Sequence[Extent], data: bytes
     ) -> None:
         self._check_server(server)
         self._check_payload(extents, data)
-        blob = self._store[server].get(name)
-        if blob is None:
-            raise FileSystemError(f"no subfile {name!r} on server {server}")
-        pos = 0
-        for off, ln in extents:
-            if off < 0 or ln < 0:
-                raise FileSystemError(f"invalid extent ({off}, {ln})")
-            end = off + ln
-            if end > len(blob):
-                blob.extend(b"\x00" * (end - len(blob)))
-            blob[off:end] = data[pos : pos + ln]
-            pos += ln
+        with self._io_locks[server]:
+            blob = self._store[server].get(name)
+            if blob is None:
+                raise FileSystemError(f"no subfile {name!r} on server {server}")
+            pos = 0
+            for off, ln in extents:
+                if off < 0 or ln < 0:
+                    raise FileSystemError(f"invalid extent ({off}, {ln})")
+                end = off + ln
+                if end > len(blob):
+                    blob.extend(b"\x00" * (end - len(blob)))
+                blob[off:end] = data[pos : pos + ln]
+                pos += ln

@@ -10,10 +10,19 @@ choices without running the full §8 harness.
 Operations are priced one at a time (the caller is a single synchronous
 client); for multi-client contention experiments use
 :mod:`repro.perf`, which simulates all ranks concurrently.
+
+Pricing runs under a lock so the backend tolerates the parallel
+dispatch layer's concurrent workers (the DES environment itself is
+single-threaded).  With ``realtime_scale`` set, each operation also
+*sleeps* its simulated duration scaled by that factor, outside the
+lock — so concurrently dispatched requests to different servers overlap
+in wall-clock time, which is what the dispatch benchmarks measure.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections.abc import Sequence
 
 from ..errors import FileSystemError
@@ -34,11 +43,17 @@ class SimulatedBackend(StorageBackend):
         self,
         classes: Sequence[StorageClassParams],
         costs: CostParams | None = None,
+        *,
+        realtime_scale: float = 0.0,
     ) -> None:
         if not classes:
             raise FileSystemError("need at least one server")
+        if realtime_scale < 0:
+            raise FileSystemError("realtime_scale must be >= 0")
         self.classes = list(classes)
         self.costs = costs or CostParams()
+        self.realtime_scale = realtime_scale
+        self._price_lock = threading.Lock()
         self.env = Environment()
         self.sim_servers = build_topology(self.env, self.classes)
         self._store = MemoryBackend(
@@ -63,10 +78,17 @@ class SimulatedBackend(StorageBackend):
         request = WireRequest(
             server=server, extents=merged, transfer_bytes=nbytes, is_read=is_read
         )
-        proc = self.env.process(
-            serve_request(self.env, self.sim_servers[server], request, self.costs)
-        )
-        self.env.run(until=proc)
+        with self._price_lock:
+            start = self.env.now
+            proc = self.env.process(
+                serve_request(self.env, self.sim_servers[server], request, self.costs)
+            )
+            self.env.run(until=proc)
+            duration = self.env.now - start
+        if self.realtime_scale:
+            # replay the priced duration in wall time, outside the lock,
+            # so concurrent dispatch to independent servers overlaps
+            time.sleep(duration * self.realtime_scale)
 
     # -- lifecycle (un-priced metadata ops) ----------------------------------
     def create_subfile(self, server: int, name: str) -> None:

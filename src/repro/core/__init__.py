@@ -4,6 +4,13 @@ system facade and its metadata layer."""
 from .brick import BrickLocation, BrickMap, BrickSlice
 from .cache import BrickCache, CacheStats
 from .combine import ServerRequest, SlicePlacement, plan_requests
+from .dispatch import (
+    Dispatcher,
+    DispatcherStats,
+    DispatchPolicy,
+    DispatchResult,
+    is_transient,
+)
 from .filesystem import DPFS
 from .fsck import Finding, FsckReport, fsck
 from .handle import FileHandle, IOStats
@@ -46,6 +53,11 @@ __all__ = [
     "plan_requests",
     "ServerRequest",
     "SlicePlacement",
+    "Dispatcher",
+    "DispatcherStats",
+    "DispatchPolicy",
+    "DispatchResult",
+    "is_transient",
     "MetadataManager",
     "FileRecord",
     "normalize_path",

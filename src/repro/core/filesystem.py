@@ -27,6 +27,7 @@ from ..errors import (
 from ..metadb import Database
 from .brick import BrickMap
 from .cache import BrickCache
+from .dispatch import Dispatcher, DispatchPolicy
 from .handle import FileHandle
 from .hints import Hint
 from .metadata import FileRecord, MetadataManager, normalize_path
@@ -68,6 +69,10 @@ class DPFS:
         default_combine: bool = True,
         cache_bytes: int = 0,
         readahead_bricks: int = 0,
+        io_workers: int = 4,
+        io_timeout_s: float | None = None,
+        io_retries: int = 3,
+        io_backoff_s: float = 0.002,
     ) -> None:
         self.backend = backend
         self.db = db if db is not None else Database()
@@ -75,6 +80,18 @@ class DPFS:
         self.meta.register_servers(backend.servers)
         self.owner = owner
         self.default_combine = default_combine
+        #: shared per-server request scheduler (repro.core.dispatch).
+        #: ``io_workers`` caps the fan-out; backends that declare
+        #: ``parallel_safe = False`` are driven sequentially regardless.
+        workers = io_workers if getattr(backend, "parallel_safe", True) else 1
+        self.dispatcher = Dispatcher(
+            DispatchPolicy(
+                max_workers=workers,
+                timeout_s=io_timeout_s,
+                retries=io_retries,
+                backoff_s=io_backoff_s,
+            )
+        )
         #: optional client-side brick cache shared by every handle
         self.cache: BrickCache | None = (
             BrickCache(cache_bytes) if cache_bytes else None
@@ -121,6 +138,7 @@ class DPFS:
         return cls(backend, db, **kwargs)
 
     def close(self) -> None:
+        self.dispatcher.shutdown()
         self.db.close()
         self.backend.close()
 

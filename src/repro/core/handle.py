@@ -24,6 +24,7 @@ and bytes for tests and the §8 harness.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -46,23 +47,55 @@ __all__ = ["FileHandle", "IOStats"]
 
 @dataclass
 class IOStats:
-    """Counters of the traffic a handle generated."""
+    """Counters of the traffic a handle generated.
+
+    Updated from dispatcher worker threads, so every mutation goes
+    through :meth:`record` under a lock.  ``per_server_latency_s``
+    accumulates wall time per server (including retry backoff), the
+    raw material for spotting slow or flapping devices.
+    """
 
     requests: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     bricks_touched: int = 0
     prefetched_bricks: int = 0
+    retries: int = 0
     per_server_requests: dict[int, int] = field(default_factory=dict)
+    per_server_retries: dict[int, int] = field(default_factory=dict)
+    per_server_latency_s: dict[int, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def record(self, server: int, nbytes: int, *, is_read: bool, bricks: int) -> None:
-        self.requests += 1
-        self.bricks_touched += bricks
-        self.per_server_requests[server] = self.per_server_requests.get(server, 0) + 1
-        if is_read:
-            self.bytes_read += nbytes
-        else:
-            self.bytes_written += nbytes
+    def record(
+        self,
+        server: int,
+        nbytes: int,
+        *,
+        is_read: bool,
+        bricks: int,
+        latency_s: float = 0.0,
+        retries: int = 0,
+    ) -> None:
+        with self._lock:
+            self.requests += 1
+            self.bricks_touched += bricks
+            self.retries += retries
+            self.per_server_requests[server] = (
+                self.per_server_requests.get(server, 0) + 1
+            )
+            if retries:
+                self.per_server_retries[server] = (
+                    self.per_server_retries.get(server, 0) + retries
+                )
+            self.per_server_latency_s[server] = (
+                self.per_server_latency_s.get(server, 0.0) + latency_s
+            )
+            if is_read:
+                self.bytes_read += nbytes
+            else:
+                self.bytes_written += nbytes
 
 
 class FileHandle:
@@ -392,13 +425,17 @@ class FileHandle:
         offset_map,
     ) -> None:
         """Run the wire plan for ``slices``, scattering into ``payload``
-        at each slice's buffer_offset."""
+        at each slice's buffer_offset.
+
+        Per-server requests are fanned out through the file system's
+        shared dispatcher; scattering happens in the worker since every
+        request owns disjoint buffer_offset ranges by construction.
+        """
         backend = self.fs.backend
-        for req in self._plan(slices):
+        plan = self._plan(slices)
+
+        def fetch(req) -> int:
             data = backend.read_extents(req.server, self.record.path, req.extents)
-            self.stats.record(
-                req.server, len(data), is_read=True, bricks=len(set(req.brick_ids))
-            )
             pos = 0
             for p in req.placements:
                 ln = p.slice.length
@@ -406,19 +443,43 @@ class FileHandle:
                     pos : pos + ln
                 ]
                 pos += ln
+            return len(data)
+
+        def done(req, result) -> None:
+            self.stats.record(
+                req.server,
+                result.value,
+                is_read=True,
+                bricks=len(set(req.brick_ids)),
+                latency_s=result.latency_s,
+                retries=result.retries,
+            )
+
+        self.fs.dispatcher.run(plan, fetch, on_result=done)
 
     def _execute_write(self, slices: list[BrickSlice], data: bytes) -> None:
         backend = self.fs.backend
-        for req in self._plan(slices):
-            chunks = [
+        plan = self._plan(slices)
+
+        def put(req) -> int:
+            blob = b"".join(
                 data[p.slice.buffer_offset : p.slice.buffer_offset + p.slice.length]
                 for p in req.placements
-            ]
-            blob = b"".join(chunks)
-            backend.write_extents(req.server, self.record.path, req.extents, blob)
-            self.stats.record(
-                req.server, len(blob), is_read=False, bricks=len(set(req.brick_ids))
             )
+            backend.write_extents(req.server, self.record.path, req.extents, blob)
+            return len(blob)
+
+        def done(req, result) -> None:
+            self.stats.record(
+                req.server,
+                result.value,
+                is_read=False,
+                bricks=len(set(req.brick_ids)),
+                latency_s=result.latency_s,
+                retries=result.retries,
+            )
+
+        self.fs.dispatcher.run(plan, put, on_result=done)
         cache = self.fs.cache
         if cache is not None:
             # write-through coherence: patch any cached image in place

@@ -24,6 +24,10 @@ __all__ = [
     "InvalidHint",
     "StripingError",
     "PlacementError",
+    # parallel dispatch
+    "DispatchError",
+    "DispatchTimeout",
+    "RetryExhausted",
     # metadata database
     "MetaDBError",
     "SQLSyntaxError",
@@ -37,6 +41,7 @@ __all__ = [
     "TransportError",
     "ProtocolError",
     "ServerError",
+    "ServerBusyError",
     # datatypes / HPF
     "DatatypeError",
     "DistributionError",
@@ -104,6 +109,26 @@ class PlacementError(DPFSError):
 
 
 # ---------------------------------------------------------------------------
+# Parallel dispatch layer
+# ---------------------------------------------------------------------------
+#
+# Any exception whose ``transient`` attribute is truthy is considered
+# retryable by the dispatcher (repro.core.dispatch); everything else
+# propagates unchanged on first occurrence.
+
+class DispatchError(FileSystemError):
+    """Failure inside the parallel per-server dispatch layer."""
+
+
+class DispatchTimeout(DispatchError):
+    """A per-server request missed the dispatcher's deadline."""
+
+
+class RetryExhausted(DispatchError):
+    """A transient error kept firing past the dispatcher's retry budget."""
+
+
+# ---------------------------------------------------------------------------
 # Embedded metadata database
 # ---------------------------------------------------------------------------
 
@@ -153,6 +178,14 @@ class ProtocolError(TransportError):
 
 class ServerError(TransportError):
     """The remote DPFS server reported a failure servicing a request."""
+
+
+class ServerBusyError(ServerError):
+    """§4.2 admission rejection: the server is at ``max_concurrent`` and
+    told the client to "try again later".  Marked transient so the
+    dispatch layer retries it with backoff."""
+
+    transient = True
 
 
 # ---------------------------------------------------------------------------

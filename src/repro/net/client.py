@@ -17,6 +17,7 @@ from ..backends.base import ServerInfo, StorageBackend
 from ..errors import (
     FileSystemError,
     ProtocolError,
+    ServerBusyError,
     ServerError,
     TransportError,
 )
@@ -29,9 +30,14 @@ __all__ = ["ServerConnection", "RemoteBackend"]
 class ServerConnection:
     """One persistent connection to one DPFS server (thread-safe).
 
-    Busy rejections (§4.2: overloaded servers tell clients to "try
-    again later") are retried with exponential backoff up to
-    ``busy_retries`` times before surfacing as :class:`ServerError`.
+    A lock serializes the request/reply exchange, so one connection may
+    be shared by every thread of the dispatch pool; backoff sleeps
+    happen outside the lock.  Busy rejections (§4.2: overloaded servers
+    tell clients to "try again later") are retried with exponential
+    backoff up to ``busy_retries`` times before surfacing as
+    :class:`ServerBusyError` — which is marked transient, so the
+    dispatch layer above may apply its own retry budget on top
+    (``busy_retries=0`` delegates retrying entirely to the dispatcher).
     """
 
     def __init__(
@@ -45,6 +51,7 @@ class ServerConnection:
     ) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
         self.busy_retries = busy_retries
         self.busy_backoff_s = busy_backoff_s
         self.retried_requests = 0
@@ -75,6 +82,8 @@ class ServerConnection:
             message = reply.get("error", "unknown server error")
             if kind == "FileNotFoundError":
                 raise FileSystemError(message)
+            if kind == "ServerBusy":
+                raise ServerBusyError(f"{kind}: {message}")
             raise ServerError(f"{kind}: {message}")
         return reply, data
 
@@ -85,8 +94,8 @@ class ServerConnection:
         for attempt in range(self.busy_retries + 1):
             try:
                 return self._call_once(header, payload)
-            except ServerError as exc:
-                if "ServerBusy" not in str(exc) or attempt == self.busy_retries:
+            except ServerBusyError:
+                if attempt == self.busy_retries:
                     raise
                 self.retried_requests += 1
                 time.sleep(delay)
@@ -148,13 +157,33 @@ class ServerConnection:
 
 
 class RemoteBackend(StorageBackend):
-    """Storage backend over a set of (host, port) DPFS servers."""
+    """Storage backend over a set of (host, port) DPFS servers.
 
-    def __init__(self, addresses: Sequence[tuple[str, int]], timeout: float = 30.0) -> None:
+    ``timeout`` bounds each socket exchange; ``busy_retries`` /
+    ``busy_backoff_s`` tune the connection-level retry of §4.2 busy
+    rejections (set ``busy_retries=0`` to let the dispatch layer's
+    budget govern instead).
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[tuple[str, int]],
+        timeout: float = 30.0,
+        *,
+        busy_retries: int = 8,
+        busy_backoff_s: float = 0.01,
+    ) -> None:
         if not addresses:
             raise TransportError("need at least one server address")
         self.connections = [
-            ServerConnection(host, port, timeout) for host, port in addresses
+            ServerConnection(
+                host,
+                port,
+                timeout,
+                busy_retries=busy_retries,
+                busy_backoff_s=busy_backoff_s,
+            )
+            for host, port in addresses
         ]
         self._servers = [conn.info for conn in self.connections]
 

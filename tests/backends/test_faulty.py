@@ -1,11 +1,13 @@
-"""Fault injection: errors surface cleanly, metadata stays consistent."""
+"""Fault injection: errors surface cleanly, metadata stays consistent,
+and transient faults are absorbed by the dispatch layer's retry budget."""
 
 import numpy as np
 import pytest
 
 from repro.backends import MemoryBackend
-from repro.backends.faulty import FaultyBackend, InjectedFault
+from repro.backends.faulty import FaultyBackend, InjectedFault, TransientFault
 from repro.core import DPFS, Hint
+from repro.errors import RetryExhausted
 
 
 @pytest.fixture
@@ -97,3 +99,83 @@ def test_per_server_fault_with_combination(fs, faulty):
         assert handle.stats.requests >= 1
     faulty.heal()
     assert fs.read_file("/f") == bytes(4096)
+
+
+# ---------------------------------------------------------------------------
+# transient faults × the dispatch retry budget
+# ---------------------------------------------------------------------------
+
+def _parallel_fs(faulty, retries=3):
+    return DPFS(faulty, io_workers=4, io_retries=retries, io_backoff_s=0.0001)
+
+
+def test_transient_fault_classes():
+    t = TransientFault("x")
+    assert isinstance(t, InjectedFault)
+    assert t.transient
+    assert not getattr(InjectedFault("x"), "transient", False)
+
+
+def test_transient_read_fault_retried_to_success(faulty):
+    fs = _parallel_fs(faulty)
+    payload = b"payload" * 100
+    fs.write_file("/f", payload)
+    faulty.fail_next("read", times=2, transient=True)
+    assert fs.read_file("/f") == payload
+    assert faulty.faults_fired["read"] == 2
+
+
+def test_transient_write_fault_retried_to_success(faulty):
+    fs = _parallel_fs(faulty)
+    fs.write_file(
+        "/f", bytes(4096), hint=Hint.linear(file_size=4096, brick_size=256)
+    )
+    faulty.fail_next("write", times=1, transient=True)
+    payload = bytes(range(256)) * 16
+    with fs.open("/f", "r+") as handle:
+        handle.write(0, payload)
+        assert handle.stats.retries >= 1
+    assert fs.read_file("/f") == payload
+
+
+def test_retry_counters_land_on_the_faulting_server(faulty):
+    fs = _parallel_fs(faulty)
+    fs.write_file(
+        "/f", bytes(4096), hint=Hint.linear(file_size=4096, brick_size=256)
+    )
+    faulty.fail_next("read", times=1, server=1, transient=True)
+    with fs.open("/f", "r") as handle:
+        handle.read(0, 4096)
+        assert handle.stats.per_server_retries.get(1, 0) >= 1
+        assert handle.stats.retries == sum(
+            handle.stats.per_server_retries.values()
+        )
+
+
+def test_permanent_transient_fault_exhausts_budget_and_names_server(faulty):
+    """A fault that keeps firing past the retry budget surfaces as
+    RetryExhausted carrying the failing server's id."""
+    fs = _parallel_fs(faulty, retries=2)
+    fs.write_file(
+        "/f", bytes(4096), hint=Hint.linear(file_size=4096, brick_size=256)
+    )
+    faulty.fail_on("read", server=2, transient=True)
+    with pytest.raises(RetryExhausted) as excinfo:
+        fs.read_file("/f")
+    assert "server 2" in str(excinfo.value)
+    assert isinstance(excinfo.value.__cause__, TransientFault)
+    # the budget was actually consumed: 1 try + 2 retries
+    assert faulty.faults_fired["read"] == 3
+    faulty.heal()
+    assert fs.read_file("/f") == bytes(4096)
+
+
+def test_non_transient_fault_bypasses_retry_budget(faulty):
+    """Plain InjectedFault must propagate unchanged on first occurrence
+    even when the dispatcher has retries available."""
+    fs = _parallel_fs(faulty, retries=5)
+    fs.write_file("/f", b"x" * 1024)
+    faulty.fail_next("read")
+    with pytest.raises(InjectedFault):
+        fs.read_file("/f")
+    assert faulty.faults_fired["read"] == 1

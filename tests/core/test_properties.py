@@ -181,6 +181,71 @@ def test_plan_preserves_payload_bytes(n_servers, n_bricks, rank, combine):
 # ---------------------------------------------------------------------------
 
 @given(
+    st.sampled_from(["linear", "multidim", "array"]),
+    st.integers(1, 5),   # servers
+    st.data(),
+)
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_parallel_dispatch_matches_sequential(level, n_servers, data):
+    """For any file level, brick geometry and nprocs, reading through the
+    8-way dispatch pool returns byte-identical data to the sequential
+    (workers=1) path over arbitrary extents."""
+    seq = DPFS.memory(n_servers, io_workers=1)
+    par = DPFS.memory(n_servers, io_workers=8)
+    try:
+        if level == "linear":
+            size = data.draw(st.integers(1, 4096))
+            brick = data.draw(st.integers(1, 512))
+            hint = Hint.linear(file_size=size, brick_size=brick)
+            payload = data.draw(st.binary(min_size=size, max_size=size))
+            for fs in (seq, par):
+                fs.write_file("/f", payload, hint=hint)
+            for _ in range(4):
+                off = data.draw(st.integers(0, size - 1))
+                ln = data.draw(st.integers(1, size - off))
+                combine = data.draw(st.booleans())
+                with seq.open("/f", "r", combine=combine) as hs:
+                    want = hs.read(off, ln)
+                with par.open("/f", "r", combine=combine) as hp:
+                    assert hp.read(off, ln) == want
+        else:
+            rows = data.draw(st.integers(2, 16))
+            cols = data.draw(st.integers(2, 16))
+            if level == "multidim":
+                brows = data.draw(st.integers(1, rows))
+                bcols = data.draw(st.integers(1, cols))
+                hint = Hint.multidim((rows, cols), 8, (brows, bcols))
+            else:
+                pattern = data.draw(
+                    st.sampled_from(["(BLOCK, *)", "(*, BLOCK)", "(BLOCK, BLOCK)"])
+                )
+                nprocs = (
+                    data.draw(st.sampled_from([1, 2, 4]))
+                    if pattern == "(BLOCK, BLOCK)"
+                    else data.draw(st.integers(1, 6))
+                )
+                hint = Hint.array((rows, cols), 8, pattern, nprocs)
+            arr = np.arange(rows * cols, dtype=np.float64).reshape(rows, cols)
+            for fs in (seq, par):
+                with fs.open("/f", "w", hint=hint) as handle:
+                    handle.write_array((0, 0), arr)
+            for _ in range(4):
+                r0 = data.draw(st.integers(0, rows - 1))
+                r1 = data.draw(st.integers(r0 + 1, rows))
+                c0 = data.draw(st.integers(0, cols - 1))
+                c1 = data.draw(st.integers(c0 + 1, cols))
+                rank = data.draw(st.integers(0, 3))
+                with seq.open("/f", "r", rank=rank) as hs:
+                    want = hs.read_array((r0, c0), (r1 - r0, c1 - c0), np.float64)
+                with par.open("/f", "r", rank=rank) as hp:
+                    got = hp.read_array((r0, c0), (r1 - r0, c1 - c0), np.float64)
+                assert np.array_equal(got, want)
+    finally:
+        seq.close()
+        par.close()
+
+
+@given(
     st.integers(1, 16),  # brick rows
     st.integers(1, 16),  # brick cols
     st.integers(2, 5),   # servers
