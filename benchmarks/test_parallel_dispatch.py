@@ -9,9 +9,23 @@ the *sum* of the per-server durations, while the pool (workers>=4)
 overlaps independent servers and pays roughly the *slowest* one: the
 gap is exactly the §4.2 motivation for issuing per-server combined
 requests concurrently.
+
+Besides the timing assertion, the run dumps a machine-readable
+observability artifact — ``BENCH_obs.json`` next to this file — holding
+the wall times plus the full metrics-registry snapshot of the widest
+run, so CI can archive what the dispatch layer actually did (requests
+per server, queue-wait and service histograms, retry counters).
+
+Environment knobs (for CI smoke runs on slow shared runners)::
+
+    DPFS_BENCH_SIZE    bytes moved per roundtrip   (default 4 MiB)
+    DPFS_BENCH_SCALE   wall seconds per simulated second (default 0.1)
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 from conftest import BENCH_SHAPE  # noqa: F401  (harness import convention)
 
@@ -19,36 +33,59 @@ from repro.backends import SimulatedBackend
 from repro.core import DPFS, Hint
 from repro.netsim.classes import CLASS1, CLASS3
 
-SIZE = 1 << 22  # 4 MiB, striped 32 ways over 8 servers
-SCALE = 0.1     # wall seconds slept per simulated second
+SIZE = int(os.environ.get("DPFS_BENCH_SIZE", 1 << 22))  # 4 MiB default
+SCALE = float(os.environ.get("DPFS_BENCH_SCALE", 0.1))
+
+OBS_ARTIFACT = Path(__file__).with_name("BENCH_obs.json")
 
 
-def _timed_roundtrip(workers: int) -> float:
+def _timed_roundtrip(workers: int) -> tuple[float, dict]:
     backend = SimulatedBackend(
         [CLASS1] * 4 + [CLASS3] * 4, realtime_scale=SCALE
     )
     fs = DPFS(backend, io_workers=workers)
-    hint = Hint.linear(file_size=SIZE, brick_size=SIZE // 32)
-    payload = bytes(range(256)) * (SIZE // 256)
+    hint = Hint.linear(file_size=SIZE, brick_size=max(256, SIZE // 32))
+    payload = bytes(range(256)) * (SIZE // 256 + 1)
+    payload = payload[:SIZE]
     start = time.perf_counter()
     fs.write_file("/bench", payload, hint=hint)
     data = fs.read_file("/bench")
     wall = time.perf_counter() - start
     assert data == payload
+    snapshot = fs.metrics.snapshot()
     fs.close()
-    return wall
+    return wall, snapshot
 
 
-def _compare() -> dict[int, float]:
-    return {workers: _timed_roundtrip(workers) for workers in (1, 4, 8)}
+def _compare() -> dict:
+    walls: dict[int, float] = {}
+    widest_snapshot: dict = {}
+    for workers in (1, 4, 8):
+        walls[workers], snapshot = _timed_roundtrip(workers)
+        widest_snapshot = snapshot  # keep the last (widest) run's metrics
+    return {"walls": walls, "metrics": widest_snapshot}
+
+
+def _dump_artifact(result: dict) -> None:
+    payload = {
+        "benchmark": "parallel_dispatch",
+        "size_bytes": SIZE,
+        "realtime_scale": SCALE,
+        "walls_s": {str(k): v for k, v in result["walls"].items()},
+        "metrics": result["metrics"],
+    }
+    OBS_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def test_parallel_dispatch_beats_sequential(once):
-    walls = once(_compare)
+    result = once(_compare)
+    walls = result["walls"]
     print()
     print("Parallel dispatch — 4 MiB round-trip, 8 heterogeneous servers")
     for workers, wall in walls.items():
         print(f"  io_workers={workers}:  {wall * 1000:7.1f} ms wall")
+    _dump_artifact(result)
+    print(f"  observability artifact: {OBS_ARTIFACT}")
 
     # the pool overlaps per-server service times; the sequential path
     # pays their sum.  Even the slowest-server bound leaves a wide

@@ -4,6 +4,13 @@
 ``dpfs server --root DIR --port P`` run one storage server (§2)
 ``dpfs bench fig11|fig12|fig13|fig14|all``  regenerate the §8 figures
 ``dpfs fsck --root DIR [--repair]`` check metadata/storage consistency
+``dpfs stats``                      Prometheus metrics after a demo roundtrip
+``dpfs trace``                      span trees + server-side span log
+
+``stats`` and ``trace`` run a small write/read workload over the real
+TCP transport — against ``--connect host:port`` servers, or against
+ephemeral local servers in a temporary directory — and print what the
+observability layer recorded.
 """
 
 from __future__ import annotations
@@ -57,6 +64,37 @@ def build_parser() -> argparse.ArgumentParser:
     fsck_p.add_argument(
         "--repair", action="store_true", help="fix what can be fixed"
     )
+
+    for name, help_text in (
+        ("stats", "run a demo roundtrip, print Prometheus metrics"),
+        ("trace", "run a traced roundtrip, print client + server spans"),
+    ):
+        obs_p = sub.add_parser(name, help=help_text)
+        obs_p.add_argument(
+            "--connect",
+            nargs="+",
+            metavar="HOST:PORT",
+            default=None,
+            help="existing dpfs servers (default: ephemeral local ones)",
+        )
+        obs_p.add_argument(
+            "--servers",
+            type=int,
+            default=2,
+            help="ephemeral servers to start when --connect is absent",
+        )
+        obs_p.add_argument(
+            "--size",
+            type=int,
+            default=256 * 1024,
+            help="bytes written+read by the demo workload",
+        )
+        obs_p.add_argument(
+            "--cache-kib",
+            type=int,
+            default=1024,
+            help="client brick cache size (0 disables)",
+        )
     return parser
 
 
@@ -145,6 +183,103 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     return 0 if report.clean or args.repair else 1
 
 
+def _obs_session(args: argparse.Namespace, *, tracing: bool):
+    """(fs, exit-stack) — a DPFS over the TCP backend, per CLI options.
+
+    Without ``--connect`` this starts ``--servers`` ephemeral
+    :class:`~repro.net.server.DPFSServer` instances in a temporary
+    directory, so the command demonstrates the full client/server wire
+    path out of the box.
+    """
+    import contextlib
+    import tempfile
+    from pathlib import Path
+
+    from .core.filesystem import DPFS
+    from .net.client import RemoteBackend
+    from .net.server import DPFSServer
+
+    stack = contextlib.ExitStack()
+    try:
+        if args.connect:
+            addresses = []
+            for spec in args.connect:
+                host, _, port = spec.rpartition(":")
+                addresses.append((host or "127.0.0.1", int(port)))
+        else:
+            root = Path(
+                stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="dpfs-obs-")
+                )
+            )
+            servers = [
+                stack.enter_context(DPFSServer(root / f"server{i}", port=0))
+                for i in range(max(1, args.servers))
+            ]
+            addresses = [s.address for s in servers]
+        fs = DPFS(
+            RemoteBackend(addresses),
+            cache_bytes=args.cache_kib << 10,
+            tracing=tracing,
+        )
+        stack.callback(fs.close)
+    except BaseException:
+        stack.close()
+        raise
+    return fs, stack
+
+
+def _demo_roundtrip(fs, nbytes: int) -> None:
+    """Write then read ``nbytes`` twice (second read exercises the cache)."""
+    from .core.hints import Hint
+
+    data = bytes(range(256)) * (nbytes // 256 + 1)
+    data = data[:nbytes]
+    hint = Hint(file_size=nbytes, brick_size=max(4096, nbytes // 8))
+    if fs.exists("/obs-demo"):
+        fs.remove("/obs-demo")
+    with fs.open("/obs-demo", "w", hint) as handle:
+        handle.write(0, data)
+    with fs.open("/obs-demo") as handle:
+        for _ in range(2):
+            back = handle.read(0, nbytes)
+            if bytes(back) != data:
+                raise RuntimeError("demo roundtrip corrupted data")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    fs, stack = _obs_session(args, tracing=False)
+    with stack:
+        _demo_roundtrip(fs, args.size)
+        print("# == client metrics ==")
+        print(fs.metrics.render(), end="")
+        for entry in fs.backend.server_stats():
+            print(f"# == server {entry['name']} ==")
+            print(entry["metrics"], end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    fs, stack = _obs_session(args, tracing=True)
+    with stack:
+        _demo_roundtrip(fs, args.size)
+        rids = set()
+        for tr in fs.tracer.traces():
+            rids.add(tr.trace_id)
+            print(tr.render())
+            print()
+        print("# server span log (rid-matched)")
+        for entry in fs.backend.server_stats():
+            for rec in entry["spans"]:
+                if rec.get("rid") in rids:
+                    print(
+                        f"{entry['name']}  rid={rec['rid']}  {rec['name']}  "
+                        f"{rec['duration_s'] * 1000:.2f} ms  "
+                        f"nbytes={rec.get('nbytes', 0)}"
+                    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "shell":
@@ -153,6 +288,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_server(args)
     if args.command == "fsck":
         return _cmd_fsck(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_bench(args)
 
 

@@ -25,25 +25,73 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..errors import ConfigError
+from ..obs.registry import MetricsRegistry
 
 __all__ = ["CacheStats", "BrickCache"]
 
 
-@dataclass
 class CacheStats:
-    """Observability counters."""
+    """Observability counters — a view over the shared metrics registry.
 
-    hits: int = 0
-    misses: int = 0
-    insertions: int = 0
-    evictions: int = 0
-    invalidations: int = 0
-    patched_writes: int = 0
+    The registry (``dpfs_cache_*`` series) is the source of truth; this
+    class keeps the historical ``cache.stats.hits`` attribute API alive
+    on top of it.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._hits = registry.counter("dpfs_cache_hits_total", "brick cache hits")
+        self._misses = registry.counter(
+            "dpfs_cache_misses_total", "brick cache misses"
+        )
+        self._insertions = registry.counter(
+            "dpfs_cache_insertions_total", "bricks admitted to the cache"
+        )
+        self._evictions = registry.counter(
+            "dpfs_cache_evictions_total", "bricks evicted by the LRU bound"
+        )
+        self._invalidations = registry.counter(
+            "dpfs_cache_invalidations_total", "bricks dropped for coherence"
+        )
+        self._patched = registry.counter(
+            "dpfs_cache_patched_writes_total", "write-through in-place patches"
+        )
+        self._used = registry.gauge(
+            "dpfs_cache_used_bytes", "bytes currently cached"
+        )
+        self._entries = registry.gauge(
+            "dpfs_cache_entries", "bricks currently cached"
+        )
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.total())
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.total())
+
+    @property
+    def insertions(self) -> int:
+        return int(self._insertions.total())
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.total())
+
+    @property
+    def invalidations(self) -> int:
+        return int(self._invalidations.total())
+
+    @property
+    def patched_writes(self) -> int:
+        return int(self._patched.total())
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
 
 @dataclass
@@ -58,15 +106,26 @@ class _Entry:
 class BrickCache:
     """LRU cache of whole bricks, bounded by total bytes."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(
+        self, capacity_bytes: int, *, registry: MetricsRegistry | None = None
+    ) -> None:
         if capacity_bytes <= 0:
             raise ConfigError("cache capacity must be positive")
         self.capacity_bytes = capacity_bytes
         self._entries: OrderedDict[tuple[str, int], _Entry] = OrderedDict()
         self._used = 0
-        self.stats = CacheStats()
+        #: one registry per cache unless the owner shares its own (DPFS
+        #: passes ``DPFS.metrics`` so cache series land with the rest)
+        self.stats = CacheStats(registry if registry is not None else MetricsRegistry())
+        #: bound hit/miss series — lookups are the cache's hot path
+        self._hit = self.stats._hits.labels()
+        self._miss = self.stats._misses.labels()
 
     # -- bookkeeping ---------------------------------------------------------
+    def _sync_gauges(self) -> None:
+        self.stats._used.set(self._used)
+        self.stats._entries.set(len(self._entries))
+
     @property
     def used_bytes(self) -> int:
         return self._used
@@ -83,10 +142,10 @@ class BrickCache:
         """Whole-brick lookup; promotes on hit."""
         entry = self._entries.get((path, brick_id))
         if entry is None:
-            self.stats.misses += 1
+            self._miss.inc()
             return None
         self._entries.move_to_end((path, brick_id))
-        self.stats.hits += 1
+        self._hit.inc()
         return bytes(entry.data)
 
     def peek(self, path: str, brick_id: int) -> bool:
@@ -105,14 +164,19 @@ class BrickCache:
         entry = _Entry(bytearray(data))
         self._entries[key] = entry
         self._used += entry.size
-        self.stats.insertions += 1
+        self.stats._insertions.inc()
+        self._sync_gauges()
         self._evict()
 
     def _evict(self) -> None:
+        evicted = False
         while self._used > self.capacity_bytes and self._entries:
             _key, entry = self._entries.popitem(last=False)
             self._used -= entry.size
-            self.stats.evictions += 1
+            self.stats._evictions.inc()
+            evicted = True
+        if evicted:
+            self._sync_gauges()
 
     # -- coherence ---------------------------------------------------------------
     def patch(self, path: str, brick_id: int, offset: int, data: bytes) -> None:
@@ -127,22 +191,25 @@ class BrickCache:
             return
         entry.data[offset : offset + len(data)] = data
         self._entries.move_to_end((path, brick_id))
-        self.stats.patched_writes += 1
+        self.stats._patched.inc()
 
     def invalidate_brick(self, path: str, brick_id: int) -> None:
         entry = self._entries.pop((path, brick_id), None)
         if entry is not None:
             self._used -= entry.size
-            self.stats.invalidations += 1
+            self.stats._invalidations.inc()
+            self._sync_gauges()
 
     def invalidate_file(self, path: str) -> None:
         """Drop every cached brick of one file (remove/rename/growth)."""
         victims = [key for key in self._entries if key[0] == path]
         for key in victims:
             self._used -= self._entries.pop(key).size
-        self.stats.invalidations += len(victims)
+        self.stats._invalidations.inc(len(victims))
+        self._sync_gauges()
 
     def clear(self) -> None:
-        self.stats.invalidations += len(self._entries)
+        self.stats._invalidations.inc(len(self._entries))
         self._entries.clear()
         self._used = 0
+        self._sync_gauges()

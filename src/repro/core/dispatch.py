@@ -43,10 +43,12 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence, TypeVar
 
 from ..errors import ConfigError, DispatchTimeout, RetryExhausted
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import current_span, span, use_span
 
 __all__ = [
     "DispatchPolicy",
@@ -95,26 +97,121 @@ class DispatchPolicy:
             raise ConfigError("timeout_s must be positive")
 
 
-@dataclass(frozen=True)
 class DispatchResult:
-    """Per-request completion record handed to ``on_result``."""
+    """Per-request completion record handed to ``on_result``.
 
-    value: Any
-    server: int
-    latency_s: float     # wall time including retries and backoff sleeps
-    retries: int         # how many re-attempts were needed (0 = first try)
+    ``latency_s`` is total wall time from first attempt to completion
+    (failed attempts and backoff sleeps included); ``service_s`` is the
+    duration of the *successful* attempt alone and ``backoff_s`` the
+    total time slept between attempts, so
+    ``latency_s >= service_s + backoff_s`` always holds and the
+    difference is time burnt in failed attempts.  ``queue_wait_s`` is
+    how long the request sat between submission and its first attempt.
+
+    A plain slotted class, not a dataclass: one record is built per
+    request on the dispatch hot path, and a frozen dataclass's
+    ``object.__setattr__``-per-field construction costs ~3x as much.
+    """
+
+    __slots__ = (
+        "value",
+        "server",
+        "latency_s",
+        "retries",
+        "queue_wait_s",
+        "service_s",
+        "backoff_s",
+    )
+
+    def __init__(
+        self,
+        value: Any,
+        server: int,
+        latency_s: float,
+        retries: int,
+        queue_wait_s: float = 0.0,
+        service_s: float = 0.0,
+        backoff_s: float = 0.0,
+    ) -> None:
+        self.value = value
+        self.server = server
+        self.latency_s = latency_s   # wall time incl. retries and backoff
+        self.retries = retries       # re-attempts needed (0 = first try)
+        self.queue_wait_s = queue_wait_s
+        self.service_s = service_s
+        self.backoff_s = backoff_s
+
+    def __repr__(self) -> str:
+        return (
+            f"DispatchResult(server={self.server}, "
+            f"latency_s={self.latency_s:.6f}, retries={self.retries}, "
+            f"queue_wait_s={self.queue_wait_s:.6f}, "
+            f"service_s={self.service_s:.6f}, backoff_s={self.backoff_s:.6f})"
+        )
 
 
-@dataclass
 class DispatcherStats:
-    """Aggregate counters across every dispatch through one pool."""
+    """Aggregate counters across every dispatch through one pool.
 
-    batches: int = 0          # run() calls with at least one request
-    inline_batches: int = 0   # batches executed without the pool
-    requests: int = 0
-    retries: int = 0
-    failures: int = 0
-    timeouts: int = 0
+    Since the observability refactor this is a *view* over the shared
+    :class:`~repro.obs.registry.MetricsRegistry` — the registry is the
+    source of truth and these properties keep the historical attribute
+    API (``stats.batches`` etc.) working on top of it.  Unlike the old
+    ad-hoc counters, ``retries`` here includes re-attempts of requests
+    that ultimately *failed* (``RetryExhausted``), which per-handle
+    ``IOStats`` — success-only by construction — never sees.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._batches = registry.counter(
+            "dpfs_dispatch_batches_total", "dispatch batches issued"
+        )
+        self._inline = registry.counter(
+            "dpfs_dispatch_inline_batches_total", "batches run without the pool"
+        )
+        self._requests = registry.counter(
+            "dpfs_dispatch_requests_total", "per-server requests dispatched"
+        )
+        self._retries = registry.counter(
+            "dpfs_dispatch_retries_total", "transient re-attempts (incl. failed requests)"
+        )
+        self._failures = registry.counter(
+            "dpfs_dispatch_failures_total", "requests that raised permanently"
+        )
+        self._timeouts = registry.counter(
+            "dpfs_dispatch_timeouts_total", "dispatches abandoned at the deadline"
+        )
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.total())
+
+    @property
+    def inline_batches(self) -> int:
+        return int(self._inline.total())
+
+    @property
+    def requests(self) -> int:
+        return int(self._requests.total())
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.total())
+
+    @property
+    def failures(self) -> int:
+        return int(self._failures.total())
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._timeouts.total())
+
+    def per_server_retries(self) -> dict[int, int]:
+        """Retry counts by server id (every request, failed ones too)."""
+        return {
+            int(k): int(v) for k, v in self._retries.by_label("server").items()
+        }
 
 
 class Dispatcher:
@@ -126,12 +223,51 @@ class Dispatcher:
     :meth:`shutdown` (``DPFS.close``).
     """
 
-    def __init__(self, policy: DispatchPolicy | None = None) -> None:
+    def __init__(
+        self,
+        policy: DispatchPolicy | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.policy = policy or DispatchPolicy()
-        self.stats = DispatcherStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = DispatcherStats(self.registry)
+        self._h_queue = self.registry.histogram(
+            "dpfs_dispatch_queue_wait_seconds",
+            "time between submission and first attempt, by server",
+        )
+        self._h_service = self.registry.histogram(
+            "dpfs_dispatch_service_seconds",
+            "duration of the successful attempt (no queueing, no backoff)",
+        )
+        self._c_backoff = self.registry.counter(
+            "dpfs_dispatch_backoff_seconds_total",
+            "total time slept between transient re-attempts",
+        )
+        #: per-server bound-series caches (hot path: no label-key churn)
+        self._by_server: dict[int, tuple] = {}
         self._lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
+
+    def _server_series(self, server: int) -> tuple:
+        """(requests, retries, service, queue-wait) bound to one server.
+
+        Bound series hold per-series locks, so workers fanning out to
+        different servers never contend on metric-wide locks.
+        """
+        series = self._by_server.get(server)
+        if series is None:
+            series = (
+                self.stats._requests.labels(server=server),
+                self.stats._retries.labels(server=server),
+                self._h_service.labels(server=server),
+                self._h_queue.labels(server=server),
+            )
+            with self._lock:
+                self._by_server.setdefault(server, series)
+                series = self._by_server[server]
+        return series
 
     # -- lifecycle ---------------------------------------------------------
     def shutdown(self) -> None:
@@ -184,9 +320,7 @@ class Dispatcher:
         if server_of is None:
             server_of = lambda item: getattr(item, "server", -1)  # noqa: E731
 
-        with self._lock:
-            self.stats.batches += 1
-            self.stats.requests += len(items)
+        self.stats._batches.inc()
 
         pool = None
         if (
@@ -196,37 +330,44 @@ class Dispatcher:
         ):
             pool = self._ensure_pool()
         if pool is None:
-            with self._lock:
-                self.stats.inline_batches += 1
-            return [
-                self._attempt(item, fn, server_of(item), on_result)
+            self.stats._inline.inc()
+            with span("dispatch.batch", requests=len(items), mode="inline"):
+                parent = current_span()
+                now = time.perf_counter
+                return [
+                    self._attempt(item, fn, server_of(item), on_result, now(), parent)
+                    for item in items
+                ]
+
+        with span("dispatch.batch", requests=len(items), mode="pool"):
+            parent = current_span()
+            submitted = time.perf_counter()
+            futures = [
+                pool.submit(
+                    self._attempt, item, fn, server_of(item), on_result,
+                    submitted, parent,
+                )
                 for item in items
             ]
-
-        futures = [
-            pool.submit(self._attempt, item, fn, server_of(item), on_result)
-            for item in items
-        ]
-        results: list[Any] = [None] * len(items)
-        first_error: BaseException | None = None
-        for i, future in enumerate(futures):
-            try:
-                results[i] = future.result(timeout=self.policy.timeout_s)
-            except _FutureTimeout:
-                for straggler in futures:
-                    straggler.cancel()
-                with self._lock:
-                    self.stats.timeouts += 1
-                raise DispatchTimeout(
-                    f"server {server_of(items[i])}: request still running "
-                    f"after {self.policy.timeout_s}s"
-                ) from None
-            except Exception as exc:  # noqa: BLE001 - re-raised below
-                if first_error is None:
-                    first_error = exc
-        if first_error is not None:
-            raise first_error
-        return results
+            results: list[Any] = [None] * len(items)
+            first_error: BaseException | None = None
+            for i, future in enumerate(futures):
+                try:
+                    results[i] = future.result(timeout=self.policy.timeout_s)
+                except _FutureTimeout:
+                    for straggler in futures:
+                        straggler.cancel()
+                    self.stats._timeouts.inc()
+                    raise DispatchTimeout(
+                        f"server {server_of(items[i])}: request still running "
+                        f"after {self.policy.timeout_s}s"
+                    ) from None
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+            return results
 
     def _attempt(
         self,
@@ -234,39 +375,83 @@ class Dispatcher:
         fn: Callable[[T], Any],
         server: int,
         on_result: Callable[[T, DispatchResult], None] | None,
+        submitted: float,
+        parent: Any = None,
     ) -> Any:
-        """One request: bounded retry loop, timing, success reporting."""
+        """One request: bounded retry loop, timing, success reporting.
+
+        ``submitted`` is the perf_counter timestamp at submission (queue
+        wait = first-attempt start − submitted); ``parent`` is the span
+        active in the submitting thread, adopted here so per-request
+        spans land in the right trace even from pool workers.
+        """
+        if parent is None:
+            return self._attempt_inner(item, fn, server, on_result, submitted)
+        with use_span(parent):
+            with span("dispatch.request", server=server) as sp:
+                return self._attempt_inner(
+                    item, fn, server, on_result, submitted, sp
+                )
+
+    def _attempt_inner(
+        self,
+        item: T,
+        fn: Callable[[T], Any],
+        server: int,
+        on_result: Callable[[T, DispatchResult], None] | None,
+        submitted: float,
+        sp: Any = None,
+    ) -> Any:
         policy = self.policy
+        c_requests, c_retries, h_service, h_queue = self._server_series(server)
         delay = policy.backoff_s
         retries = 0
+        backoff_total = 0.0
         start = time.perf_counter()
+        queue_wait = start - submitted
         while True:
+            attempt_start = time.perf_counter()
             try:
                 value = fn(item)
             except Exception as exc:
                 if not is_transient(exc):
-                    with self._lock:
-                        self.stats.failures += 1
+                    self.stats._failures.inc(server=server)
                     raise
                 if retries >= policy.retries:
-                    with self._lock:
-                        self.stats.failures += 1
+                    self.stats._failures.inc(server=server)
                     raise RetryExhausted(
                         f"server {server}: transient error persisted after "
                         f"{retries + 1} attempts: {exc}"
                     ) from exc
                 retries += 1
-                with self._lock:
-                    self.stats.retries += 1
+                c_retries.inc()
                 if delay:
                     time.sleep(delay)
+                    backoff_total += delay
                 delay = min(delay * 2 if delay else policy.backoff_s, policy.backoff_cap_s)
                 continue
+            done = time.perf_counter()
+            service = done - attempt_start
+            c_requests.inc()
+            h_queue.observe(queue_wait)
+            h_service.observe(service)
+            if backoff_total:
+                self._c_backoff.inc(backoff_total, server=server)
+            if sp is not None:
+                sp.tag(
+                    queue_wait_s=queue_wait,
+                    service_s=service,
+                    retries=retries,
+                    backoff_s=backoff_total,
+                )
             result = DispatchResult(
                 value=value,
                 server=server,
-                latency_s=time.perf_counter() - start,
+                latency_s=done - start,
                 retries=retries,
+                queue_wait_s=queue_wait,
+                service_s=service,
+                backoff_s=backoff_total,
             )
             if on_result is not None:
                 on_result(item, result)

@@ -25,6 +25,7 @@ from ..errors import (
     PermissionDenied,
 )
 from ..metadb import Database
+from ..obs import MetricsRegistry, Tracer
 from .brick import BrickMap
 from .cache import BrickCache
 from .dispatch import Dispatcher, DispatchPolicy
@@ -73,6 +74,7 @@ class DPFS:
         io_timeout_s: float | None = None,
         io_retries: int = 3,
         io_backoff_s: float = 0.002,
+        tracing: bool = False,
     ) -> None:
         self.backend = backend
         self.db = db if db is not None else Database()
@@ -80,6 +82,13 @@ class DPFS:
         self.meta.register_servers(backend.servers)
         self.owner = owner
         self.default_combine = default_combine
+        #: unified observability: one registry per instance is the
+        #: source of truth for every counter/histogram (``dpfs stats``),
+        #: and the tracer records per-request span trees when enabled
+        #: (``tracing=True`` / ``dpfs trace``).  Disabled tracing is a
+        #: no-op fast path.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(enabled=tracing)
         #: shared per-server request scheduler (repro.core.dispatch).
         #: ``io_workers`` caps the fan-out; backends that declare
         #: ``parallel_safe = False`` are driven sequentially regardless.
@@ -90,12 +99,18 @@ class DPFS:
                 timeout_s=io_timeout_s,
                 retries=io_retries,
                 backoff_s=io_backoff_s,
-            )
+            ),
+            registry=self.metrics,
         )
         #: optional client-side brick cache shared by every handle
         self.cache: BrickCache | None = (
-            BrickCache(cache_bytes) if cache_bytes else None
+            BrickCache(cache_bytes, registry=self.metrics) if cache_bytes else None
         )
+        #: backends that understand metrics (the net RemoteBackend)
+        #: adopt the instance registry so wire-level series land here
+        bind = getattr(backend, "bind_metrics", None)
+        if callable(bind):
+            bind(self.metrics)
         #: bricks to prefetch ahead of sequential reads (cache required;
         #: note BrickCache defines __len__, so test identity, not truth)
         self.readahead_bricks = (

@@ -33,6 +33,8 @@ import numpy as np
 from ..datatypes import Datatype
 from ..errors import BadFileHandle, FileSystemError, StripingError
 from ..hpf.regions import Region
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import span
 from ..util import Extent
 from .brick import BrickMap, BrickSlice
 from .combine import plan_requests
@@ -50,9 +52,18 @@ class IOStats:
     """Counters of the traffic a handle generated.
 
     Updated from dispatcher worker threads, so every mutation goes
-    through :meth:`record` under a lock.  ``per_server_latency_s``
-    accumulates wall time per server (including retry backoff), the
-    raw material for spotting slow or flapping devices.
+    through :meth:`record` under a lock.  Latency accounting is split
+    three ways so retries cannot be double-read: per server,
+    ``per_server_latency_s`` is total wall time (failed attempts and
+    backoff included), ``per_server_service_s`` is the successful
+    attempt alone, and ``per_server_backoff_s`` the retry sleeps — so
+    ``latency >= service + backoff`` holds per server and the remainder
+    is failed-attempt time.  A handle's stats are a handle-scoped view;
+    :meth:`bind` forwards the same events into the file system's
+    :class:`~repro.obs.registry.MetricsRegistry`, which is the
+    system-wide source of truth (``DPFS.metrics``).  Note the registry's
+    ``dpfs_dispatch_retries_total`` also counts retries of requests
+    that ultimately failed, which no handle ever observes.
     """
 
     requests: int = 0
@@ -64,9 +75,36 @@ class IOStats:
     per_server_requests: dict[int, int] = field(default_factory=dict)
     per_server_retries: dict[int, int] = field(default_factory=dict)
     per_server_latency_s: dict[int, float] = field(default_factory=dict)
+    per_server_service_s: dict[int, float] = field(default_factory=dict)
+    per_server_backoff_s: dict[int, float] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    _fwd: tuple | None = field(default=None, repr=False, compare=False)
+
+    def bind(self, registry: MetricsRegistry) -> "IOStats":
+        """Mirror this handle's events into the shared registry.
+
+        Holds the raw series cells (``_cell_for``), not the counter
+        objects: :meth:`record` runs once per dispatched request, and a
+        direct ``cell.v += n`` under the cell lock is the cheapest
+        thread-safe increment available.
+        """
+        self._fwd = (
+            registry.counter(
+                "dpfs_io_bytes_read_total", "payload bytes read by handles"
+            )._cell_for(()),
+            registry.counter(
+                "dpfs_io_bytes_written_total", "payload bytes written by handles"
+            )._cell_for(()),
+            registry.counter(
+                "dpfs_io_bricks_touched_total", "bricks covered by handle requests"
+            )._cell_for(()),
+            registry.counter(
+                "dpfs_io_prefetched_bricks_total", "bricks pulled by read-ahead"
+            )._cell_for(()),
+        )
+        return self
 
     def record(
         self,
@@ -77,6 +115,8 @@ class IOStats:
         bricks: int,
         latency_s: float = 0.0,
         retries: int = 0,
+        service_s: float = 0.0,
+        backoff_s: float = 0.0,
     ) -> None:
         with self._lock:
             self.requests += 1
@@ -89,13 +129,36 @@ class IOStats:
                 self.per_server_retries[server] = (
                     self.per_server_retries.get(server, 0) + retries
                 )
+            if backoff_s:
+                self.per_server_backoff_s[server] = (
+                    self.per_server_backoff_s.get(server, 0.0) + backoff_s
+                )
             self.per_server_latency_s[server] = (
                 self.per_server_latency_s.get(server, 0.0) + latency_s
+            )
+            self.per_server_service_s[server] = (
+                self.per_server_service_s.get(server, 0.0) + service_s
             )
             if is_read:
                 self.bytes_read += nbytes
             else:
                 self.bytes_written += nbytes
+        fwd = self._fwd
+        if fwd is not None:
+            cell = fwd[0] if is_read else fwd[1]
+            with cell.lock:
+                cell.v += nbytes
+            cell = fwd[2]
+            with cell.lock:
+                cell.v += bricks
+
+    def note_prefetch(self, bricks: int = 1) -> None:
+        with self._lock:
+            self.prefetched_bricks += bricks
+        if self._fwd is not None:
+            cell = self._fwd[3]
+            with cell.lock:
+                cell.v += bricks
 
 
 class FileHandle:
@@ -121,7 +184,7 @@ class FileHandle:
         self.rank = rank
         self.combine = combine
         self.stagger = stagger
-        self.stats = IOStats()
+        self.stats = IOStats().bind(fs.metrics)
         self._closed = False
         #: read-ahead state: one past the last brick id fetched by a
         #: cache-enabled read (sequential-pattern detector)
@@ -330,6 +393,12 @@ class FileHandle:
         )
 
     def _execute_read(self, slices: list[BrickSlice], total: int) -> bytes:
+        with self.fs.tracer.trace(
+            "handle.read", path=self.record.path, bytes=total
+        ):
+            return self._execute_read_inner(slices, total)
+
+    def _execute_read_inner(self, slices: list[BrickSlice], total: int) -> bytes:
         cache = self.fs.cache
         if cache is None:
             payload = bytearray(total)
@@ -338,14 +407,16 @@ class FileHandle:
 
         payload = bytearray(total)
         missing: list[BrickSlice] = []
-        for s in slices:
-            cached = cache.get(self.record.path, s.brick_id)
-            if cached is not None:
-                payload[s.buffer_offset : s.buffer_offset + s.length] = cached[
-                    s.offset : s.offset + s.length
-                ]
-            else:
-                missing.append(s)
+        with span("cache.lookup", slices=len(slices)) as cache_span:
+            for s in slices:
+                cached = cache.get(self.record.path, s.brick_id)
+                if cached is not None:
+                    payload[s.buffer_offset : s.buffer_offset + s.length] = cached[
+                        s.offset : s.offset + s.length
+                    ]
+                else:
+                    missing.append(s)
+            cache_span.tag(hits=len(slices) - len(missing), misses=len(missing))
         if not missing:
             return bytes(payload)
 
@@ -392,7 +463,7 @@ class FileHandle:
                         BrickSlice(brick_id, 0, loc.size, fetch_offset)
                     )
                     fetch_offset += loc.size
-                    self.stats.prefetched_bricks += 1
+                    self.stats.note_prefetch()
             self._next_expected_brick = hi + 1
 
         fetched = bytearray(fetch_offset)
@@ -432,7 +503,9 @@ class FileHandle:
         request owns disjoint buffer_offset ranges by construction.
         """
         backend = self.fs.backend
-        plan = self._plan(slices)
+        with span("combine.plan", slices=len(slices)) as plan_span:
+            plan = self._plan(slices)
+            plan_span.tag(requests=len(plan), combine=self.combine)
 
         def fetch(req) -> int:
             data = backend.read_extents(req.server, self.record.path, req.extents)
@@ -453,13 +526,23 @@ class FileHandle:
                 bricks=len(set(req.brick_ids)),
                 latency_s=result.latency_s,
                 retries=result.retries,
+                service_s=result.service_s,
+                backoff_s=result.backoff_s,
             )
 
         self.fs.dispatcher.run(plan, fetch, on_result=done)
 
     def _execute_write(self, slices: list[BrickSlice], data: bytes) -> None:
+        with self.fs.tracer.trace(
+            "handle.write", path=self.record.path, bytes=len(data)
+        ):
+            self._execute_write_inner(slices, data)
+
+    def _execute_write_inner(self, slices: list[BrickSlice], data: bytes) -> None:
         backend = self.fs.backend
-        plan = self._plan(slices)
+        with span("combine.plan", slices=len(slices)) as plan_span:
+            plan = self._plan(slices)
+            plan_span.tag(requests=len(plan), combine=self.combine)
 
         def put(req) -> int:
             blob = b"".join(
@@ -477,19 +560,22 @@ class FileHandle:
                 bricks=len(set(req.brick_ids)),
                 latency_s=result.latency_s,
                 retries=result.retries,
+                service_s=result.service_s,
+                backoff_s=result.backoff_s,
             )
 
         self.fs.dispatcher.run(plan, put, on_result=done)
         cache = self.fs.cache
         if cache is not None:
             # write-through coherence: patch any cached image in place
-            for s in slices:
-                cache.patch(
-                    self.record.path,
-                    s.brick_id,
-                    s.offset,
-                    data[s.buffer_offset : s.buffer_offset + s.length],
-                )
+            with span("cache.patch", slices=len(slices)):
+                for s in slices:
+                    cache.patch(
+                        self.record.path,
+                        s.brick_id,
+                        s.offset,
+                        data[s.buffer_offset : s.buffer_offset + s.length],
+                    )
 
     # ------------------------------------------------------------------
     # growth (linear level)

@@ -21,6 +21,8 @@ from ..errors import (
     ServerError,
     TransportError,
 )
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import current_trace_id, span
 from ..util import Extent
 from .protocol import recv_message, send_message
 
@@ -63,12 +65,39 @@ class ServerConnection:
             ) from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._lock = threading.Lock()
+        #: wire metrics — unbound until the owning backend/file system
+        #: shares its registry via :meth:`bind_metrics`
+        self._obs: tuple | None = None
+        self._op_counters: dict[str, Any] = {}
         self.info = self._ping()
+
+    def bind_metrics(self, registry: MetricsRegistry, server: int | None = None) -> None:
+        """Record round trips into ``registry`` (per-op, labeled)."""
+        label = {} if server is None else {"server": server}
+        self._op_counters = {}
+        self._obs = (
+            registry.counter(
+                "dpfs_net_requests_total", "wire requests issued"
+            ),
+            registry.histogram(
+                "dpfs_net_roundtrip_seconds", "wire request round-trip time"
+            ).labels(**label),
+            registry.counter(
+                "dpfs_net_bytes_sent_total", "payload bytes sent to servers"
+            ).labels(**label),
+            registry.counter(
+                "dpfs_net_bytes_received_total", "payload bytes received from servers"
+            ).labels(**label),
+        )
 
     # -- plumbing ---------------------------------------------------------
     def _call_once(
         self, header: dict[str, Any], payload: bytes = b""
     ) -> tuple[dict[str, Any], bytes]:
+        rid = current_trace_id()
+        if rid is not None:
+            header["rid"] = rid
+        start = time.perf_counter()
         with self._lock:
             try:
                 send_message(self._sock, header, payload)
@@ -77,6 +106,19 @@ class ServerConnection:
                 raise TransportError(
                     f"I/O error talking to {self.host}:{self.port}: {exc}"
                 ) from exc
+        obs = self._obs
+        if obs is not None:
+            elapsed = time.perf_counter() - start
+            op = header.get("op", "?")
+            bound = self._op_counters.get(op)
+            if bound is None:
+                bound = self._op_counters[op] = obs[0].labels(op=op)
+            bound.inc()
+            obs[1].observe(elapsed)
+            if payload:
+                obs[2].inc(len(payload))
+            if data:
+                obs[3].inc(len(data))
         if not reply.get("ok"):
             kind = reply.get("kind", "ServerError")
             message = reply.get("error", "unknown server error")
@@ -90,16 +132,22 @@ class ServerConnection:
     def _call(
         self, header: dict[str, Any], payload: bytes = b""
     ) -> tuple[dict[str, Any], bytes]:
-        delay = self.busy_backoff_s
-        for attempt in range(self.busy_retries + 1):
-            try:
-                return self._call_once(header, payload)
-            except ServerBusyError:
-                if attempt == self.busy_retries:
-                    raise
-                self.retried_requests += 1
-                time.sleep(delay)
-                delay = min(delay * 2, 1.0)
+        with span(
+            "net.rpc", op=header.get("op", "?"), server=f"{self.host}:{self.port}"
+        ) as rpc_span:
+            delay = self.busy_backoff_s
+            for attempt in range(self.busy_retries + 1):
+                try:
+                    reply, data = self._call_once(header, payload)
+                    if attempt:
+                        rpc_span.tag(busy_retries=attempt)
+                    return reply, data
+                except ServerBusyError:
+                    if attempt == self.busy_retries:
+                        raise
+                    self.retried_requests += 1
+                    time.sleep(delay)
+                    delay = min(delay * 2, 1.0)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _ping(self) -> ServerInfo:
@@ -155,6 +203,15 @@ class ServerConnection:
             data,
         )
 
+    def stats(self) -> dict[str, Any]:
+        """Server-side observability: Prometheus text + recent span log."""
+        reply, _ = self._call({"op": "stats"})
+        return {
+            "name": reply.get("name", f"{self.host}:{self.port}"),
+            "metrics": reply.get("metrics", ""),
+            "spans": reply.get("spans", []),
+        }
+
 
 class RemoteBackend(StorageBackend):
     """Storage backend over a set of (host, port) DPFS servers.
@@ -190,6 +247,15 @@ class RemoteBackend(StorageBackend):
     @property
     def servers(self) -> list[ServerInfo]:
         return list(self._servers)
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Adopt a shared registry (``DPFS`` calls this with its own)."""
+        for i, conn in enumerate(self.connections):
+            conn.bind_metrics(registry, i)
+
+    def server_stats(self) -> list[dict[str, Any]]:
+        """Observability snapshot (metrics text + span log) per server."""
+        return [conn.stats() for conn in self.connections]
 
     def close(self) -> None:
         for conn in self.connections:

@@ -20,10 +20,16 @@ Operations::
     write           extent-list write (payload attached)
     rename          rename a subfile (``new_name`` field)
     list            names of every subfile on the server
+    stats           server observability: Prometheus text + span log
 
 Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": ...,
 "kind": ...}``; errors re-raise client-side as the matching DPFS
 exception type.
+
+Any request may carry a ``rid`` field — the client-side trace's request
+id.  Servers record it with their per-request span log (returned by the
+``stats`` op) and echo it in the reply, so one id correlates the client
+and server halves of the same I/O.
 """
 
 from __future__ import annotations
@@ -52,7 +58,7 @@ MAX_PAYLOAD = 1 << 31         # 2 GiB of data
 OPS = frozenset(
     {
         "ping", "create", "delete", "exists", "size", "read", "write",
-        "rename", "list",
+        "rename", "list", "stats",
     }
 )
 

@@ -24,11 +24,13 @@ import socket
 import socketserver
 import threading
 import time
+from collections import deque
 from pathlib import Path
 from typing import Any
 
 from ..backends.local import escape_subfile_name
 from ..errors import ProtocolError
+from ..obs.registry import MetricsRegistry
 from ..util import Extent
 from .protocol import OPS, recv_message, send_message
 
@@ -110,6 +112,30 @@ class DPFSServer:
         self._io_lock = threading.Lock()
         self.requests_served = 0
         self.requests_rejected = 0
+        #: server-side observability: every op is counted and timed in
+        #: the registry; requests carrying a client request id (``rid``)
+        #: additionally land in a bounded span log so ``dpfs trace`` can
+        #: match server time to the client's trace
+        self.metrics = MetricsRegistry()
+        self._c_requests = self.metrics.counter(
+            "dpfs_server_requests_total", "requests served, by op"
+        )
+        self._c_rejected = self.metrics.counter(
+            "dpfs_server_rejected_total", "requests rejected at the admission gate"
+        )
+        self._h_seconds = self.metrics.histogram(
+            "dpfs_server_request_seconds", "request service time, by op"
+        )
+        self._c_read_bytes = self.metrics.counter(
+            "dpfs_server_bytes_read_total", "payload bytes served by reads"
+        )
+        self._c_written_bytes = self.metrics.counter(
+            "dpfs_server_bytes_written_total", "payload bytes applied by writes"
+        )
+        self._g_inflight = self.metrics.gauge(
+            "dpfs_server_inflight_requests", "read/write requests in service"
+        )
+        self.span_log: deque[dict[str, Any]] = deque(maxlen=256)
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -145,15 +171,32 @@ class DPFSServer:
         op = header.get("op")
         if op not in OPS:
             raise ProtocolError(f"unknown operation {op!r}")
+        rid = header.get("rid")
+        start = time.perf_counter()
+        try:
+            reply, data = self._admit_and_dispatch(op, header, payload)
+        except Exception:
+            self._observe(op, rid, time.perf_counter() - start, payload, None, error=True)
+            raise
+        self._observe(op, rid, time.perf_counter() - start, payload, data)
+        if rid is not None:
+            reply.setdefault("rid", rid)
+        return reply, data
+
+    def _admit_and_dispatch(
+        self, op: str, header: dict[str, Any], payload: bytes
+    ) -> tuple[dict[str, Any], bytes]:
         if self.max_concurrent is not None and op in ("read", "write"):
             with self._inflight_lock:
                 if self._inflight >= self.max_concurrent:
                     self.requests_rejected += 1
+                    self._c_rejected.inc(op=op)
                     raise ServerBusy(
                         f"server at {self.max_concurrent} concurrent "
                         f"requests; try again later"
                     )
                 self._inflight += 1
+                self._g_inflight.set(self._inflight)
             try:
                 if self.io_delay_s:
                     time.sleep(self.io_delay_s)
@@ -161,7 +204,38 @@ class DPFSServer:
             finally:
                 with self._inflight_lock:
                     self._inflight -= 1
+                    self._g_inflight.set(self._inflight)
         return self._dispatch_inner(op, header, payload)
+
+    def _observe(
+        self,
+        op: str,
+        rid: Any,
+        elapsed_s: float,
+        payload: bytes,
+        data: bytes | None,
+        *,
+        error: bool = False,
+    ) -> None:
+        """Registry + span-log bookkeeping for one serviced request."""
+        self._c_requests.inc(op=op)
+        self._h_seconds.observe(elapsed_s, op=op)
+        if op == "read" and data:
+            self._c_read_bytes.inc(len(data))
+        elif op == "write" and payload:
+            self._c_written_bytes.inc(len(payload))
+        if rid is not None:
+            record = {
+                "rid": rid,
+                "op": op,
+                "name": f"server.{op}",
+                "duration_s": elapsed_s,
+                "at": time.time(),
+                "nbytes": len(data) if op == "read" and data else len(payload),
+            }
+            if error:
+                record["error"] = True
+            self.span_log.append(record)
 
     def _dispatch_inner(
         self, op: str, header: dict[str, Any], payload: bytes
@@ -174,6 +248,16 @@ class DPFSServer:
                     "name": self.name,
                     "capacity": self.capacity,
                     "performance": self.performance,
+                },
+                b"",
+            )
+        if op == "stats":
+            return (
+                {
+                    "ok": True,
+                    "name": self.name,
+                    "metrics": self.metrics.render(),
+                    "spans": list(self.span_log),
                 },
                 b"",
             )

@@ -1,0 +1,43 @@
+"""Unified observability: metrics registry + request tracing.
+
+Every subsystem that used to keep ad-hoc counters (``handle.stats``,
+``CacheStats``, the dispatcher's retry maps) now records through one
+:class:`MetricsRegistry`, and request-scoped timing is captured by a
+zero-dependency :mod:`~repro.obs.trace` span API whose request ids
+travel over the wire protocol so client and server phases of one I/O
+can be correlated.
+
+Entry points:
+
+- ``DPFS.metrics`` — the per-instance registry (Prometheus text via
+  :meth:`MetricsRegistry.render`, JSON via
+  :meth:`MetricsRegistry.snapshot`);
+- ``DPFS(..., tracing=True)`` + ``DPFS.tracer`` — per-request span
+  trees (``dpfs trace`` renders them);
+- ``dpfs stats`` / ``dpfs trace`` — CLI front ends.
+"""
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    Span,
+    Trace,
+    Tracer,
+    current_span,
+    current_trace_id,
+    span,
+    use_span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_span",
+    "current_trace_id",
+    "span",
+    "use_span",
+]

@@ -1,0 +1,299 @@
+"""Request-scoped tracing: spans, traces, contextvar propagation.
+
+A *trace* is one logical I/O (a ``handle.read``, a ``handle.write``, a
+shell command); a *span* is one timed phase inside it (plan build,
+cache lookup, one per-server dispatch, one network round trip).  The
+current span travels in a :mod:`contextvars` context variable, so
+nested phases attach themselves without any plumbing — and
+:func:`use_span` re-roots a worker thread onto the span that submitted
+its work, which is how dispatcher pool workers join the request's
+trace.
+
+The *request id* is the trace id.  The network client stamps it into
+every wire header while a trace is active, and servers echo it into
+their own span log, so one id correlates client-side and server-side
+timings of the same I/O.
+
+Disabled fast path: with no active trace, :func:`span` returns a
+no-op singleton after a single contextvar read — cheap enough to leave
+call sites unconditional.  Root creation (:meth:`Tracer.trace`) checks
+``Tracer.enabled`` first, so a disabled tracer never activates the
+context at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_span",
+    "current_trace_id",
+    "span",
+    "use_span",
+]
+
+#: the innermost active span of the calling context (None = not tracing)
+_current: ContextVar["Span | None"] = ContextVar("dpfs_current_span", default=None)
+
+_trace_seq = itertools.count(1)
+
+
+class Span:
+    """One timed phase of a trace.  Use as a context manager."""
+
+    __slots__ = (
+        "trace",
+        "name",
+        "span_id",
+        "parent_id",
+        "tags",
+        "start_s",
+        "end_s",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        trace: "Trace",
+        name: str,
+        parent_id: int | None,
+        tags: dict[str, Any],
+    ) -> None:
+        self.trace = trace
+        self.name = name
+        self.span_id = trace._next_span_id()
+        self.parent_id = parent_id
+        self.tags = tags
+        self.start_s = time.perf_counter()
+        self.end_s: float | None = None
+        self._token = None
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return end - self.start_s
+
+    def tag(self, **tags: Any) -> "Span":
+        self.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._token = _current.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end_s = time.perf_counter()
+        if exc is not None:
+            self.tags["error"] = f"{type(exc).__name__}: {exc}"
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Span {self.name} #{self.span_id} {self.duration_s * 1000:.3f}ms>"
+
+
+class Trace:
+    """One request: an id plus the spans recorded under it."""
+
+    def __init__(self, trace_id: str, name: str) -> None:
+        self.trace_id = trace_id
+        self.name = name
+        self.started_at = time.time()
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._span_seq = itertools.count(1)
+
+    def _next_span_id(self) -> int:
+        return next(self._span_seq)
+
+    def add_span(self, name: str, parent_id: int | None, tags: dict[str, Any]) -> Span:
+        new = Span(self, name, parent_id, tags)
+        with self._lock:
+            self.spans.append(new)
+        return new
+
+    @property
+    def root(self) -> Span | None:
+        return self.spans[0] if self.spans else None
+
+    @property
+    def duration_s(self) -> float:
+        root = self.root
+        return root.duration_s if root is not None else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            spans = list(self.spans)
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "started_at": self.started_at,
+            "spans": [s.to_dict() for s in spans],
+        }
+
+    def render(self) -> str:
+        """Indented span tree with durations and tags."""
+        with self._lock:
+            spans = list(self.spans)
+        children: dict[int | None, list[Span]] = {}
+        for s in spans:
+            children.setdefault(s.parent_id, []).append(s)
+        header = f"trace {self.trace_id} — {self.name} ({self.duration_s * 1000:.2f} ms)"
+        lines = [header]
+
+        def walk(parent_id: int | None, depth: int) -> None:
+            for s in children.get(parent_id, []):
+                tags = " ".join(f"{k}={_short(v)}" for k, v in s.tags.items())
+                pad = "  " * depth
+                line = f"{pad}{s.name} {s.duration_s * 1000:.2f} ms"
+                lines.append(f"{line}  {tags}" if tags else line)
+                walk(s.span_id, depth + 1)
+
+        walk(None, 1)
+        return "\n".join(lines)
+
+
+def _short(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class _NoopSpan:
+    """Singleton stand-in when tracing is off: every op is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def tag(self, **tags: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _UseSpan:
+    """Context manager re-rooting the calling context onto ``span``."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, target: "Span | None") -> None:
+        self._span = target
+        self._token = None
+
+    def __enter__(self) -> "Span | None":
+        if self._span is not None:
+            self._token = _current.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+
+
+def current_span() -> Span | None:
+    """The innermost active span of this context, if any."""
+    return _current.get()
+
+
+def current_trace_id() -> str | None:
+    """The active request id, if a trace is underway in this context."""
+    active = _current.get()
+    return active.trace.trace_id if active is not None else None
+
+
+def span(name: str, **tags: Any):
+    """Open a child span of the current one (no-op outside a trace)."""
+    parent = _current.get()
+    if parent is None:
+        return NOOP_SPAN
+    return parent.trace.add_span(name, parent.span_id, tags)
+
+
+def use_span(target: Span | None) -> _UseSpan:
+    """Adopt ``target`` as the current span (cross-thread propagation).
+
+    Passing ``None`` yields a no-op, so call sites can propagate
+    unconditionally: ``with use_span(parent): ...``.
+    """
+    return _UseSpan(target)
+
+
+class Tracer:
+    """Creates and retains traces for one DPFS instance.
+
+    ``enabled=False`` (the default) keeps the fast path: roots are
+    no-ops, the context variable is never set, and every nested
+    :func:`span` call short-circuits on the ``None`` contextvar read.
+    Completed traces are kept in a bounded ring (``keep`` most recent).
+    """
+
+    def __init__(self, enabled: bool = False, *, keep: int = 64) -> None:
+        self.enabled = enabled
+        self.keep = keep
+        self._lock = threading.Lock()
+        self._traces: list[Trace] = []
+        self._prefix = f"t{os.getpid() % 0xFFFF:04x}"
+
+    def trace(self, name: str, **tags: Any):
+        """Root span: starts a new trace, or nests if one is active."""
+        if not self.enabled:
+            return NOOP_SPAN
+        parent = _current.get()
+        if parent is not None:
+            return parent.trace.add_span(name, parent.span_id, tags)
+        trace_id = f"{self._prefix}-{next(_trace_seq):06d}"
+        new = Trace(trace_id, name)
+        with self._lock:
+            self._traces.append(new)
+            if len(self._traces) > self.keep:
+                del self._traces[: len(self._traces) - self.keep]
+        return new.add_span(name, None, tags)
+
+    # -- retrieval ---------------------------------------------------------
+    def traces(self) -> list[Trace]:
+        with self._lock:
+            return list(self._traces)
+
+    def last(self) -> Trace | None:
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def find(self, trace_id: str) -> Trace | None:
+        with self._lock:
+            for t in reversed(self._traces):
+                if t.trace_id == trace_id:
+                    return t
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces())

@@ -1,0 +1,113 @@
+"""Regression: dispatcher registry vs per-handle IOStats reconciliation.
+
+Before the observability refactor the dispatcher kept an ad-hoc
+per-server latency map while handles counted their own retries; the two
+drifted apart because handle stats only see *successful* requests while
+the dispatcher also retries requests that ultimately fail.  These tests
+pin the reconciled semantics:
+
+- per server, ``latency >= service + backoff`` (the remainder is time
+  burnt in failed attempts);
+- for an all-successful workload, registry retries == handle retries;
+- a ``RetryExhausted`` request's re-attempts appear in the registry but
+  never in any handle's stats — documented divergence, asserted here.
+"""
+
+import pytest
+
+from repro.backends.faulty import FaultyBackend
+from repro.backends.memory import MemoryBackend
+from repro.core import DPFS, Hint
+from repro.errors import RetryExhausted
+
+SIZE = 64 * 1024
+N_SERVERS = 4
+
+
+def _fs(backend=None, **kwargs):
+    backend = backend or FaultyBackend(MemoryBackend(N_SERVERS))
+    return DPFS(backend, io_retries=3, **kwargs), backend
+
+
+def _roundtrip(fs):
+    """Write then read /f; return (write-handle stats, read-handle stats)."""
+    hint = Hint(file_size=SIZE, brick_size=SIZE // (2 * N_SERVERS))
+    data = bytes(range(256)) * (SIZE // 256)
+    with fs.open("/f", "w", hint) as h:
+        h.write(0, data)
+        wstats = h.stats
+    with fs.open("/f") as h:
+        assert bytes(h.read(0, SIZE)) == data
+        return wstats, h.stats
+
+
+def _summed(dicts):
+    out: dict[int, float] = {}
+    for d in dicts:
+        for k, v in d.items():
+            out[k] = out.get(k, 0) + v
+    return out
+
+
+def test_latency_covers_service_plus_backoff_per_server():
+    fs, backend = _fs()
+    backend.fail_next("read", server=1, times=2, transient=True)
+    _wstats, stats = _roundtrip(fs)
+    for server, latency in stats.per_server_latency_s.items():
+        service = stats.per_server_service_s.get(server, 0.0)
+        backoff = stats.per_server_backoff_s.get(server, 0.0)
+        assert latency >= service + backoff - 1e-9, (
+            f"server {server}: latency {latency} < service {service} "
+            f"+ backoff {backoff}"
+        )
+    # the faulted server actually has retries and backoff on record
+    assert stats.per_server_retries.get(1, 0) == 2
+    assert stats.per_server_backoff_s.get(1, 0.0) > 0.0
+    fs.close()
+
+
+def test_registry_retries_match_handle_retries_when_all_succeed():
+    fs, backend = _fs()
+    backend.fail_next("read", server=0, times=1, transient=True)
+    backend.fail_next("write", server=2, times=2, transient=True)
+    wstats, rstats = _roundtrip(fs)
+    assert wstats.retries + rstats.retries == 3
+    reg_retries = fs.dispatcher.stats.per_server_retries()
+    assert sum(reg_retries.values()) == 3
+    handle_retries = _summed(
+        [wstats.per_server_retries, rstats.per_server_retries]
+    )
+    assert reg_retries == handle_retries
+    fs.close()
+
+
+def test_failed_request_retries_counted_in_registry_only():
+    """The documented divergence: RetryExhausted re-attempts are
+    registry-visible but invisible to every handle."""
+    fs, backend = _fs()
+    wstats, rstats = _roundtrip(fs)  # clean first pass
+    assert wstats.retries == rstats.retries == 0
+
+    backend.fail_on("read", server=3, transient=True)  # persistent fault
+    with fs.open("/f") as h:
+        with pytest.raises(RetryExhausted):
+            h.read(0, SIZE)
+        assert h.stats.retries == 0  # the handle saw no *successful* retry
+
+    reg = fs.dispatcher.stats
+    assert reg.per_server_retries().get(3, 0) == 3  # io_retries budget
+    assert reg.failures >= 1
+    fs.close()
+
+
+def test_dispatch_requests_total_by_server_matches_handles():
+    fs, _backend = _fs()
+    wstats, rstats = _roundtrip(fs)
+    reg_requests = {
+        int(k): int(v)
+        for k, v in fs.dispatcher.stats._requests.by_label("server").items()
+    }
+    assert reg_requests == _summed(
+        [wstats.per_server_requests, rstats.per_server_requests]
+    )
+    fs.close()

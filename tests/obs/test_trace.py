@@ -1,0 +1,136 @@
+"""Tracing: span nesting, contextvar propagation, worker-thread adoption."""
+
+import threading
+
+from repro.obs import Tracer, current_span, current_trace_id, span, use_span
+from repro.obs.trace import NOOP_SPAN
+
+
+def test_disabled_tracer_is_noop():
+    tracer = Tracer(enabled=False)
+    with tracer.trace("op") as root:
+        assert root is NOOP_SPAN
+        assert current_span() is None
+        assert current_trace_id() is None
+        # nested spans short-circuit too
+        assert span("child") is NOOP_SPAN
+    assert tracer.traces() == []
+
+
+def test_span_outside_any_trace_is_noop():
+    assert span("orphan") is NOOP_SPAN
+    with span("orphan"):
+        pass  # must not raise
+
+
+def test_nesting_builds_a_tree():
+    tracer = Tracer(enabled=True)
+    with tracer.trace("root", kind="demo") as root:
+        assert current_span() is root
+        with span("child_a") as a:
+            with span("grandchild") as g:
+                assert g.parent_id == a.span_id
+        with span("child_b") as b:
+            pass
+    trace = tracer.last()
+    assert trace is not None
+    names = [s.name for s in trace.spans]
+    assert names == ["root", "child_a", "grandchild", "child_b"]
+    assert trace.spans[0].parent_id is None
+    assert a.parent_id == root.span_id
+    assert b.parent_id == root.span_id
+    assert all(s.end_s is not None for s in trace.spans)
+
+
+def test_trace_id_is_request_id():
+    tracer = Tracer(enabled=True)
+    with tracer.trace("op"):
+        rid = current_trace_id()
+        assert rid == tracer.last().trace_id
+    assert current_trace_id() is None
+
+
+def test_exception_is_tagged_and_context_restored():
+    tracer = Tracer(enabled=True)
+    try:
+        with tracer.trace("op"):
+            with span("failing"):
+                raise ValueError("boom")
+    except ValueError:
+        pass
+    assert current_span() is None
+    failing = tracer.last().spans[-1]
+    assert "ValueError" in failing.tags["error"]
+
+
+def test_use_span_adopts_across_threads():
+    """Pool workers join the submitting thread's trace via use_span."""
+    tracer = Tracer(enabled=True)
+    seen = {}
+
+    def worker(parent):
+        with use_span(parent):
+            with span("in_worker", thread=threading.current_thread().name) as s:
+                seen["parent_id"] = s.parent_id
+                seen["rid"] = current_trace_id()
+        # adoption is scoped: after the block the worker has no context
+        seen["after"] = current_span()
+
+    with tracer.trace("root") as root:
+        t = threading.Thread(target=worker, args=(current_span(),))
+        t.start()
+        t.join()
+    assert seen["parent_id"] == root.span_id
+    assert seen["rid"] == tracer.last().trace_id
+    assert seen["after"] is None
+
+
+def test_use_span_none_is_noop():
+    with use_span(None) as adopted:
+        assert adopted is None
+        assert current_span() is None
+
+
+def test_tracer_ring_is_bounded():
+    tracer = Tracer(enabled=True, keep=3)
+    for i in range(10):
+        with tracer.trace(f"op{i}"):
+            pass
+    kept = tracer.traces()
+    assert len(kept) == 3
+    assert [t.name for t in kept] == ["op7", "op8", "op9"]
+
+
+def test_render_shows_tree_and_tags():
+    tracer = Tracer(enabled=True)
+    with tracer.trace("root"):
+        with span("child", server=3):
+            pass
+    text = tracer.last().render()
+    assert "root" in text
+    assert "child" in text
+    assert "server=3" in text
+    assert text.startswith("trace ")
+
+
+def test_dispatcher_pool_workers_land_in_one_trace():
+    """End to end: spans from dispatcher worker threads join the trace."""
+    from repro.core.dispatch import Dispatcher, DispatchPolicy
+
+    tracer = Tracer(enabled=True)
+    with Dispatcher(DispatchPolicy(max_workers=4)) as dispatcher:
+        with tracer.trace("io"):
+            dispatcher.run(
+                list(range(6)),
+                lambda item: item * 2,
+                server_of=lambda item: item % 3,
+            )
+    trace = tracer.last()
+    requests = [s for s in trace.spans if s.name == "dispatch.request"]
+    assert len(requests) == 6
+    batch = next(s for s in trace.spans if s.name == "dispatch.batch")
+    assert all(s.parent_id == batch.span_id for s in requests)
+    # per-request timing tags recorded by the dispatcher
+    for s in requests:
+        assert "service_s" in s.tags
+        assert "queue_wait_s" in s.tags

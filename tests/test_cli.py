@@ -51,6 +51,48 @@ def test_bench_small_fig11(capsys):
     assert "Class 1" in out and "Class 3" in out
 
 
+def test_stats_subcommand(capsys):
+    rc = main(["stats", "--size", "32768", "--servers", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # Prometheus text populated by a real roundtrip over the TCP backend
+    assert "# == client metrics ==" in out
+    assert "# TYPE dpfs_dispatch_requests_total counter" in out
+    assert 'dpfs_net_requests_total{op="write"}' in out
+    assert "dpfs_cache_hits_total 8" in out  # second read hits all 8 bricks
+    # both ephemeral servers report their own registries
+    assert out.count("# == server dpfs://") == 2
+    assert "dpfs_server_requests_total" in out
+
+
+def test_trace_subcommand(capsys):
+    rc = main(["trace", "--size", "32768", "--servers", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "handle.write" in out
+    assert "handle.read" in out
+    for phase in ("combine.plan", "dispatch.batch", "dispatch.request",
+                  "net.rpc", "cache.lookup"):
+        assert phase in out, f"missing span {phase}"
+    assert "queue_wait_s=" in out and "service_s=" in out
+    # server span log lines carry rids that appear in the client traces
+    assert "# server span log (rid-matched)" in out
+    log_lines = [ln for ln in out.splitlines() if "rid=" in ln and "server." in ln]
+    assert log_lines, "no rid-matched server spans printed"
+    for line in log_lines:
+        rid = line.split("rid=")[1].split()[0]
+        assert f"trace {rid}" in out
+
+
+def test_parser_stats_trace_options():
+    parser = build_parser()
+    args = parser.parse_args(["stats", "--connect", "h1:7001", "h2:7002"])
+    assert args.command == "stats"
+    assert args.connect == ["h1:7001", "h2:7002"]
+    args = parser.parse_args(["trace", "--size", "1024", "--cache-kib", "0"])
+    assert args.command == "trace" and args.size == 1024
+
+
 def test_fsck_subcommand(tmp_path, capsys):
     root = tmp_path / "dpfs"
     assert main(["shell", "--root", str(root), "-c", "mkdir /d"]) == 0
