@@ -1,0 +1,80 @@
+"""Connection-pool scaling on the real TCP transport.
+
+One storage server with a fixed per-I/O service delay; eight client
+threads issue independent reads against it through one DPFS mount.
+With ``pool_size=1`` every wire exchange serializes on the single
+socket (the pre-pool ``ServerConnection`` behavior), so the wall time
+is the *sum* of the service delays; with ``pool_size=4`` up to four
+exchanges ride concurrent sockets and the server's admission window
+(``max_concurrent``) services them simultaneously.
+
+The measured gap is the same-server half of §4.2's concurrency story —
+PR 1's dispatcher overlapped requests to *different* servers; the pool
+overlaps requests to the *same* one.
+
+Environment knobs (for CI smoke runs on slow shared runners)::
+
+    DPFS_BENCH_NET_READS   reads per client thread      (default 12)
+    DPFS_BENCH_NET_DELAY   per-I/O server delay seconds (default 0.004)
+"""
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from conftest import BENCH_SHAPE  # noqa: F401  (harness import convention)
+
+from repro.core import DPFS, Hint
+from repro.net import ChaosProxy, DPFSServer  # noqa: F401  (ChaosProxy: see chaos CI job)
+
+N_THREADS = 8
+READS = int(os.environ.get("DPFS_BENCH_NET_READS", 12))
+DELAY = float(os.environ.get("DPFS_BENCH_NET_DELAY", 0.004))
+FILE_BYTES = 8 * 1024
+
+
+def _timed_reads(server_address, pool_size: int) -> float:
+    fs = DPFS.remote([server_address], pool_size=pool_size, io_workers=N_THREADS)
+    payload = bytes(range(256)) * (FILE_BYTES // 256)
+    for i in range(N_THREADS):
+        fs.write_file(
+            f"/t{i}",
+            payload,
+            hint=Hint.linear(file_size=FILE_BYTES, brick_size=FILE_BYTES),
+        )
+
+    def work(i: int) -> None:
+        for _ in range(READS):
+            assert fs.read_file(f"/t{i}") == payload
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        list(pool.map(work, range(N_THREADS)))
+    wall = time.perf_counter() - start
+    fs.close()
+    return wall
+
+
+def _compare(tmp_root) -> dict[int, float]:
+    walls: dict[int, float] = {}
+    with DPFSServer(
+        tmp_root / "srv", max_concurrent=64, io_delay_s=DELAY
+    ) as server:
+        for pool_size in (1, 4):
+            walls[pool_size] = _timed_reads(server.address, pool_size)
+    return walls
+
+
+def test_pool_beats_single_socket(once, tmp_path):
+    walls = once(_compare, tmp_path)
+    print()
+    print(
+        f"Connection pool — {N_THREADS} threads × {READS} reads, one server, "
+        f"{DELAY * 1000:.1f} ms service delay"
+    )
+    for pool_size, wall in walls.items():
+        print(f"  pool_size={pool_size}:  {wall * 1000:7.1f} ms wall")
+
+    # 8 threads against one socket serialize ~N_THREADS*READS delays;
+    # 4 pooled sockets overlap them 4-way.  0.75 is deliberately loose.
+    assert walls[4] < 0.75 * walls[1], "pool_size=4 should beat the single socket"

@@ -70,7 +70,12 @@ class StorageBackend(ABC):
 
     @abstractmethod
     def rename_subfile(self, server: int, old: str, new: str) -> None:
-        """Rename a subfile (no-op when the old name does not exist)."""
+        """Rename a subfile.
+
+        The in-process backends treat a missing old name as a no-op;
+        the TCP server raises (surfacing metadata/storage divergence),
+        which the remote backend maps to :class:`FileSystemError`.
+        """
 
     @abstractmethod
     def list_subfiles(self, server: int) -> list[str]:

@@ -95,6 +95,18 @@ def build_parser() -> argparse.ArgumentParser:
             default=1024,
             help="client brick cache size (0 disables)",
         )
+        obs_p.add_argument(
+            "--pool-size",
+            type=int,
+            default=4,
+            help="TCP connections kept per server",
+        )
+        obs_p.add_argument(
+            "--ping-interval",
+            type=float,
+            default=None,
+            help="background health-probe interval in seconds (default off)",
+        )
     return parser
 
 
@@ -196,7 +208,6 @@ def _obs_session(args: argparse.Namespace, *, tracing: bool):
     from pathlib import Path
 
     from .core.filesystem import DPFS
-    from .net.client import RemoteBackend
     from .net.server import DPFSServer
 
     stack = contextlib.ExitStack()
@@ -217,8 +228,10 @@ def _obs_session(args: argparse.Namespace, *, tracing: bool):
                 for i in range(max(1, args.servers))
             ]
             addresses = [s.address for s in servers]
-        fs = DPFS(
-            RemoteBackend(addresses),
+        fs = DPFS.remote(
+            addresses,
+            pool_size=args.pool_size,
+            ping_interval_s=args.ping_interval,
             cache_bytes=args.cache_kib << 10,
             tracing=tracing,
         )
@@ -253,6 +266,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         _demo_roundtrip(fs, args.size)
         print("# == client metrics ==")
         print(fs.metrics.render(), end="")
+        print("# == server health ==")
+        print(
+            "# server  address                health    fails  pool(open/idle)"
+            "  reconnects  discarded"
+        )
+        for row in fs.backend.health():
+            addr = f"{row['host']}:{row['port']}"
+            print(
+                f"# {row['server']:<7} {addr:<22} {row['health']:<9} "
+                f"{row['consecutive_failures']:<6} "
+                f"{row['open']}/{row['idle']:<14} "
+                f"{row['reconnects']:<11} {row['discarded']}"
+            )
         for entry in fs.backend.server_stats():
             print(f"# == server {entry['name']} ==")
             print(entry["metrics"], end="")

@@ -342,6 +342,14 @@ class Dispatcher:
         with span("dispatch.batch", requests=len(items), mode="pool"):
             parent = current_span()
             submitted = time.perf_counter()
+            # one deadline for the whole batch, fixed at submission: a
+            # batch of N stuck requests must fail after timeout_s, not
+            # after N × timeout_s of sequential per-future waits
+            deadline = (
+                None
+                if self.policy.timeout_s is None
+                else submitted + self.policy.timeout_s
+            )
             futures = [
                 pool.submit(
                     self._attempt, item, fn, server_of(item), on_result,
@@ -353,14 +361,20 @@ class Dispatcher:
             first_error: BaseException | None = None
             for i, future in enumerate(futures):
                 try:
-                    results[i] = future.result(timeout=self.policy.timeout_s)
+                    if deadline is None:
+                        results[i] = future.result()
+                    else:
+                        results[i] = future.result(
+                            timeout=max(0.0, deadline - time.perf_counter())
+                        )
                 except _FutureTimeout:
                     for straggler in futures:
                         straggler.cancel()
                     self.stats._timeouts.inc()
                     raise DispatchTimeout(
                         f"server {server_of(items[i])}: request still running "
-                        f"after {self.policy.timeout_s}s"
+                        f"at the batch deadline ({self.policy.timeout_s}s "
+                        f"from submission)"
                     ) from None
                 except Exception as exc:  # noqa: BLE001 - re-raised below
                     if first_error is None:

@@ -130,6 +130,38 @@ class DPFS:
         return cls(MemoryBackend(n_servers, **backend_kw), **kwargs)
 
     @classmethod
+    def remote(
+        cls,
+        addresses: Sequence[tuple[str, int]],
+        **kwargs: Any,
+    ) -> "DPFS":
+        """TCP-backed instance over running ``dpfs server`` processes.
+
+        Net knobs (``pool_size``, ``timeout``, ``busy_retries``,
+        ``busy_backoff_s``, ``reconnect_attempts``,
+        ``reconnect_backoff_s``, ``down_after``, ``ping_interval_s``)
+        are forwarded to :class:`~repro.net.client.RemoteBackend`; the
+        rest configure the mount as usual.
+        """
+        from ..net.client import RemoteBackend
+
+        backend_kw = {
+            k: kwargs.pop(k)
+            for k in (
+                "timeout",
+                "pool_size",
+                "busy_retries",
+                "busy_backoff_s",
+                "reconnect_attempts",
+                "reconnect_backoff_s",
+                "down_after",
+                "ping_interval_s",
+            )
+            if k in kwargs
+        }
+        return cls(RemoteBackend(addresses, **backend_kw), **kwargs)
+
+    @classmethod
     def local(
         cls,
         root: str | os.PathLike[str],

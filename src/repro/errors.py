@@ -39,6 +39,7 @@ __all__ = [
     "SimStopped",
     # network transport
     "TransportError",
+    "ConnectionLost",
     "ProtocolError",
     "ServerError",
     "ServerBusyError",
@@ -170,6 +171,18 @@ class SimStopped(SimulationError):
 
 class TransportError(DPFSError):
     """Base class for the real-socket transport."""
+
+
+class ConnectionLost(TransportError):
+    """The socket to a server broke mid-exchange, or a replacement could
+    not be established within the connection pool's reconnect budget.
+    Marked transient: the broken socket is discarded before this is
+    raised (a desynced socket never serves another request) and every
+    operation the dispatch layer replays — extent reads and writes — is
+    idempotent, so the dispatcher's retry budget may re-issue the
+    request on a fresh connection."""
+
+    transient = True
 
 
 class ProtocolError(TransportError):

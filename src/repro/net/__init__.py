@@ -1,13 +1,22 @@
-"""Real TCP client/server transport (§2: sockets over TCP/IP)."""
+"""Real TCP client/server transport (§2: sockets over TCP/IP).
 
-from .client import RemoteBackend, ServerConnection
+Fault tolerance lives here too: per-server connection pools with
+auto-reconnect and health states (:mod:`repro.net.client`) and the
+fault-injecting :class:`ChaosProxy` tests drive them with
+(:mod:`repro.net.chaos`).
+"""
+
+from .chaos import ChaosProxy
+from .client import RemoteBackend, ServerConnection, ServerHealth
 from .protocol import recv_message, send_message
 from .server import DPFSServer
 
 __all__ = [
     "DPFSServer",
     "ServerConnection",
+    "ServerHealth",
     "RemoteBackend",
+    "ChaosProxy",
     "send_message",
     "recv_message",
 ]

@@ -1,13 +1,37 @@
-"""Client side of the TCP transport: connections and the remote backend.
+"""Client side of the TCP transport: connection pools and the remote backend.
 
-:class:`ServerConnection` wraps one socket to one DPFS server;
-:class:`RemoteBackend` implements the storage-backend interface over a
-pool of such connections, so the whole file system stack (striping,
+:class:`ServerConnection` keeps a **pool** of sockets to one DPFS
+server; :class:`RemoteBackend` implements the storage-backend interface
+over one pool per server, so the whole file system stack (striping,
 combination, metadata) runs unchanged against real servers.
+
+Fault model (the paper's transport assumes servers never die; real
+deployments need the degraded-mode behavior systems like Lustre treat
+as table stakes):
+
+- **Pooling.**  Up to ``pool_size`` sockets per server, created lazily
+  and checked out per request, so the dispatch layer's same-server
+  fan-out really overlaps on the wire instead of serializing on one
+  socket's lock.
+- **Auto-reconnect.**  Any ``OSError``/mid-exchange framing failure
+  closes and *discards* the broken socket — a desynced socket must
+  never serve another request — and surfaces as
+  :class:`~repro.errors.ConnectionLost`, which is transient: the
+  dispatcher's retry budget replays the (idempotent) request on a fresh
+  socket.  Establishing a fresh socket retries with exponential backoff
+  up to ``reconnect_attempts`` times.
+- **Health states.**  Each server is ``UP``, ``DEGRADED`` (recent
+  failure) or ``DOWN`` (``down_after`` consecutive failures).  A DOWN
+  server fast-fails its connect (one attempt, no backoff) so a dead
+  node degrades the mount instead of stalling it; background ping
+  probes (``ping_interval_s``) and ordinary traffic both drive the
+  DOWN → UP transition.  States export through the metrics registry and
+  ``dpfs stats``.
 """
 
 from __future__ import annotations
 
+import enum
 import socket
 import threading
 import time
@@ -15,6 +39,7 @@ from typing import Any, Sequence
 
 from ..backends.base import ServerInfo, StorageBackend
 from ..errors import (
+    ConnectionLost,
     FileSystemError,
     ProtocolError,
     ServerBusyError,
@@ -26,20 +51,40 @@ from ..obs.trace import current_trace_id, span
 from ..util import Extent
 from .protocol import recv_message, send_message
 
-__all__ = ["ServerConnection", "RemoteBackend"]
+__all__ = ["ServerHealth", "ServerConnection", "RemoteBackend"]
+
+
+class ServerHealth(enum.Enum):
+    """Client-side view of one server's liveness.
+
+    The numeric values are exported as the ``dpfs_net_server_health``
+    gauge (2 = UP, 1 = DEGRADED, 0 = DOWN), so a time series of the
+    gauge reads as a liveness trace.
+    """
+
+    DOWN = 0
+    DEGRADED = 1
+    UP = 2
 
 
 class ServerConnection:
-    """One persistent connection to one DPFS server (thread-safe).
+    """A pool of connections to one DPFS server (thread-safe).
 
-    A lock serializes the request/reply exchange, so one connection may
-    be shared by every thread of the dispatch pool; backoff sleeps
-    happen outside the lock.  Busy rejections (§4.2: overloaded servers
-    tell clients to "try again later") are retried with exponential
-    backoff up to ``busy_retries`` times before surfacing as
+    Requests check a socket out of the pool, run one request/reply
+    exchange on it and return it; concurrent requests to the same
+    server therefore overlap on distinct sockets (up to ``pool_size``)
+    instead of serializing on a single socket's lock.  Sockets are
+    created lazily: an idle mount holds at most the one socket the
+    constructor's ping opened.
+
+    Busy rejections (§4.2: overloaded servers tell clients to "try
+    again later") are retried with exponential backoff up to
+    ``busy_retries`` times before surfacing as
     :class:`ServerBusyError` — which is marked transient, so the
     dispatch layer above may apply its own retry budget on top
     (``busy_retries=0`` delegates retrying entirely to the dispatcher).
+    Connection failures surface as :class:`ConnectionLost` (also
+    transient) after the broken socket has been discarded.
     """
 
     def __init__(
@@ -48,29 +93,230 @@ class ServerConnection:
         port: int,
         timeout: float = 30.0,
         *,
+        pool_size: int = 4,
         busy_retries: int = 8,
         busy_backoff_s: float = 0.01,
+        reconnect_attempts: int = 3,
+        reconnect_backoff_s: float = 0.02,
+        down_after: int = 3,
     ) -> None:
+        if pool_size < 1:
+            raise TransportError("pool_size must be >= 1")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.pool_size = pool_size
         self.busy_retries = busy_retries
         self.busy_backoff_s = busy_backoff_s
-        self.retried_requests = 0
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise TransportError(
-                f"cannot connect to dpfs server at {host}:{port}: {exc}"
-            ) from exc
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._lock = threading.Lock()
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff_s = reconnect_backoff_s
+        self.down_after = down_after
+
+        #: pool state — guarded by the condition's lock
+        self._cond = threading.Condition()
+        self._idle: list[socket.socket] = []
+        self._open = 0          # sockets alive (idle + checked out)
+        self._closed = False
+        self._health = ServerHealth.UP
+        self._consecutive_failures = 0
+
+        #: counters — guarded by ``_cond``'s lock as well (cold path)
+        self._busy_retried = 0
+        self._reconnects = 0
+        self._discarded = 0
+        self._health_transitions = 0
+
         #: wire metrics — unbound until the owning backend/file system
         #: shares its registry via :meth:`bind_metrics`
         self._obs: tuple | None = None
         self._op_counters: dict[str, Any] = {}
+        self._health_obs: tuple | None = None
+
+        # eager first connection: construction fails fast on an
+        # unreachable address, and the ping populates ``info``
+        sock = self._connect()
+        with self._cond:
+            self._open += 1
+            self._idle.append(sock)
         self.info = self._ping()
 
+    # -- health -------------------------------------------------------------
+    @property
+    def health(self) -> ServerHealth:
+        with self._cond:
+            return self._health
+
+    @property
+    def retried_requests(self) -> int:
+        """Busy re-attempts made at the connection level (thread-safe)."""
+        with self._cond:
+            return self._busy_retried
+
+    def _note_busy_retry(self) -> None:
+        with self._cond:
+            self._busy_retried += 1
+
+    def _set_health(self, new: ServerHealth) -> None:
+        """Transition to ``new`` (caller holds ``_cond``'s lock)."""
+        if new is self._health:
+            return
+        self._health = new
+        self._health_transitions += 1
+        obs = self._health_obs
+        if obs is not None:
+            obs[0].set(new.value)
+            obs[1].inc(to=new.name)
+
+    def _record_failure(self) -> None:
+        with self._cond:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.down_after:
+                self._set_health(ServerHealth.DOWN)
+            else:
+                self._set_health(ServerHealth.DEGRADED)
+
+    def _record_success(self) -> None:
+        with self._cond:
+            self._consecutive_failures = 0
+            self._set_health(ServerHealth.UP)
+
+    def probe(self) -> bool:
+        """One health probe: a ping through the pool; True on success.
+
+        Success/failure feeds the health state exactly like a real
+        request, so a probe alone drives the DOWN → UP transition.
+        """
+        try:
+            self._call_once({"op": "ping"})
+        except TransportError:
+            return False
+        return True
+
+    def health_snapshot(self) -> dict[str, Any]:
+        """Point-in-time health/pool view (``dpfs stats``, tests)."""
+        with self._cond:
+            return {
+                "host": self.host,
+                "port": self.port,
+                "health": self._health.name,
+                "consecutive_failures": self._consecutive_failures,
+                "open": self._open,
+                "idle": len(self._idle),
+                "pool_size": self.pool_size,
+                "reconnects": self._reconnects,
+                "discarded": self._discarded,
+                "busy_retried": self._busy_retried,
+            }
+
+    # -- socket lifecycle ---------------------------------------------------
+    def _connect_once(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _connect(self) -> socket.socket:
+        """Dial with bounded exponential backoff.
+
+        A DOWN server gets exactly one attempt — fast-fail keeps a dead
+        node from stalling every request for the full backoff budget;
+        the dispatcher's own backoff (or the background probe) paces
+        further attempts.
+        """
+        attempts = self.reconnect_attempts
+        with self._cond:
+            if self._health is ServerHealth.DOWN:
+                attempts = 0
+        delay = self.reconnect_backoff_s
+        last: OSError | None = None
+        for attempt in range(attempts + 1):
+            try:
+                sock = self._connect_once()
+            except OSError as exc:
+                last = exc
+                if attempt < attempts:
+                    time.sleep(delay)
+                    delay = min(delay * 2, 1.0)
+                continue
+            if attempt:
+                with self._cond:
+                    self._reconnects += 1
+                obs = self._health_obs
+                if obs is not None:
+                    obs[2].inc()
+            return sock
+        self._record_failure()
+        raise ConnectionLost(
+            f"cannot connect to dpfs server at {self.host}:{self.port} "
+            f"after {attempts + 1} attempt(s): {last}"
+        ) from last
+
+    def _checkout(self) -> socket.socket:
+        """An idle socket, a fresh one, or (pool exhausted) wait."""
+        while True:
+            with self._cond:
+                if self._closed:
+                    raise TransportError(
+                        f"connection pool to {self.host}:{self.port} is closed"
+                    )
+                if self._idle:
+                    return self._idle.pop()
+                if self._open < self.pool_size:
+                    self._open += 1
+                    break
+                self._cond.wait(timeout=1.0)
+                continue
+        # grow the pool outside the lock — connecting may sleep
+        try:
+            return self._connect()
+        except BaseException:
+            with self._cond:
+                self._open -= 1
+                self._cond.notify()
+            raise
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._cond:
+            if self._closed:
+                self._open -= 1
+                self._cond.notify()
+            else:
+                self._idle.append(sock)
+                self._cond.notify()
+                return
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _discard(self, sock: socket.socket) -> None:
+        """Close a broken socket and shrink the pool — never reuse it."""
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        with self._cond:
+            self._open -= 1
+            self._discarded += 1
+            self._cond.notify()
+        obs = self._health_obs
+        if obs is not None:
+            obs[3].inc()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._open -= len(idle)
+            self._cond.notify_all()
+        for sock in idle:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- metrics ------------------------------------------------------------
     def bind_metrics(self, registry: MetricsRegistry, server: int | None = None) -> None:
         """Record round trips into ``registry`` (per-op, labeled)."""
         label = {} if server is None else {"server": server}
@@ -89,6 +335,23 @@ class ServerConnection:
                 "dpfs_net_bytes_received_total", "payload bytes received from servers"
             ).labels(**label),
         )
+        health_gauge = registry.gauge(
+            "dpfs_net_server_health",
+            "per-server health (2=UP, 1=DEGRADED, 0=DOWN)",
+        )
+        self._health_obs = (
+            _BoundGauge(health_gauge, label),
+            _TransitionCounter(registry, label),
+            registry.counter(
+                "dpfs_net_reconnects_total", "sockets re-established after a failure"
+            ).labels(**label),
+            registry.counter(
+                "dpfs_net_sockets_discarded_total",
+                "broken sockets closed instead of returned to the pool",
+            ).labels(**label),
+        )
+        with self._cond:
+            self._health_obs[0].set(self._health.value)
 
     # -- plumbing ---------------------------------------------------------
     def _call_once(
@@ -98,14 +361,21 @@ class ServerConnection:
         if rid is not None:
             header["rid"] = rid
         start = time.perf_counter()
-        with self._lock:
-            try:
-                send_message(self._sock, header, payload)
-                reply, data = recv_message(self._sock)
-            except OSError as exc:
-                raise TransportError(
-                    f"I/O error talking to {self.host}:{self.port}: {exc}"
-                ) from exc
+        sock = self._checkout()
+        try:
+            send_message(sock, header, payload)
+            reply, data = recv_message(sock)
+        except (OSError, ProtocolError) as exc:
+            # mid-exchange failure: the socket may hold half a frame —
+            # discard it so a stale reply can never desync a later
+            # request, then surface as transient ConnectionLost
+            self._discard(sock)
+            self._record_failure()
+            raise ConnectionLost(
+                f"I/O error talking to {self.host}:{self.port}: {exc}"
+            ) from exc
+        self._checkin(sock)
+        self._record_success()
         obs = self._obs
         if obs is not None:
             elapsed = time.perf_counter() - start
@@ -145,7 +415,7 @@ class ServerConnection:
                 except ServerBusyError:
                     if attempt == self.busy_retries:
                         raise
-                    self.retried_requests += 1
+                    self._note_busy_retry()
                     time.sleep(delay)
                     delay = min(delay * 2, 1.0)
         raise AssertionError("unreachable")  # pragma: no cover
@@ -157,12 +427,6 @@ class ServerConnection:
             capacity=int(reply.get("capacity", 0)),
             performance=float(reply.get("performance", 1.0)),
         )
-
-    def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover
-            pass
 
     # -- operations -----------------------------------------------------------
     def create(self, name: str) -> None:
@@ -213,13 +477,50 @@ class ServerConnection:
         }
 
 
+class _BoundGauge:
+    """A gauge pre-bound to one label set (the registry has no native
+    bound-gauge helper; health transitions are rare, so one dict build
+    per transition is fine)."""
+
+    __slots__ = ("_gauge", "_labels")
+
+    def __init__(self, gauge: Any, labels: dict[str, Any]) -> None:
+        self._gauge = gauge
+        self._labels = labels
+
+    def set(self, value: float) -> None:
+        self._gauge.set(value, **self._labels)
+
+
+class _TransitionCounter:
+    """Health-transition counter keeping the base label set fixed and
+    adding the destination state per event."""
+
+    __slots__ = ("_counter", "_labels")
+
+    def __init__(self, registry: MetricsRegistry, labels: dict[str, Any]) -> None:
+        self._counter = registry.counter(
+            "dpfs_net_health_transitions_total",
+            "server health state changes, by destination state",
+        )
+        self._labels = labels
+
+    def inc(self, *, to: str) -> None:
+        self._counter.inc(to=to, **self._labels)
+
+
 class RemoteBackend(StorageBackend):
     """Storage backend over a set of (host, port) DPFS servers.
 
-    ``timeout`` bounds each socket exchange; ``busy_retries`` /
-    ``busy_backoff_s`` tune the connection-level retry of §4.2 busy
-    rejections (set ``busy_retries=0`` to let the dispatch layer's
-    budget govern instead).
+    ``timeout`` bounds each socket exchange; ``pool_size`` caps the
+    sockets kept per server; ``busy_retries`` / ``busy_backoff_s`` tune
+    the connection-level retry of §4.2 busy rejections (set
+    ``busy_retries=0`` to let the dispatch layer's budget govern
+    instead).  ``reconnect_attempts`` / ``reconnect_backoff_s`` bound
+    the dial-with-backoff loop behind auto-reconnect, ``down_after``
+    sets how many consecutive failures mark a server DOWN, and a
+    nonzero ``ping_interval_s`` starts a daemon thread that pings
+    non-UP servers so recovery is noticed even on an idle mount.
     """
 
     def __init__(
@@ -227,8 +528,13 @@ class RemoteBackend(StorageBackend):
         addresses: Sequence[tuple[str, int]],
         timeout: float = 30.0,
         *,
+        pool_size: int = 4,
         busy_retries: int = 8,
         busy_backoff_s: float = 0.01,
+        reconnect_attempts: int = 3,
+        reconnect_backoff_s: float = 0.02,
+        down_after: int = 3,
+        ping_interval_s: float | None = None,
     ) -> None:
         if not addresses:
             raise TransportError("need at least one server address")
@@ -237,12 +543,34 @@ class RemoteBackend(StorageBackend):
                 host,
                 port,
                 timeout,
+                pool_size=pool_size,
                 busy_retries=busy_retries,
                 busy_backoff_s=busy_backoff_s,
+                reconnect_attempts=reconnect_attempts,
+                reconnect_backoff_s=reconnect_backoff_s,
+                down_after=down_after,
             )
             for host, port in addresses
         ]
         self._servers = [conn.info for conn in self.connections]
+        self.ping_interval_s = ping_interval_s
+        self._prober_stop = threading.Event()
+        self._prober: threading.Thread | None = None
+        if ping_interval_s:
+            self._prober = threading.Thread(
+                target=self._probe_loop, name="dpfs-net-prober", daemon=True
+            )
+            self._prober.start()
+
+    def _probe_loop(self) -> None:
+        """Ping every non-UP server each interval (background thread)."""
+        assert self.ping_interval_s is not None
+        while not self._prober_stop.wait(self.ping_interval_s):
+            for conn in self.connections:
+                if self._prober_stop.is_set():
+                    return
+                if conn.health is not ServerHealth.UP:
+                    conn.probe()
 
     @property
     def servers(self) -> list[ServerInfo]:
@@ -257,7 +585,18 @@ class RemoteBackend(StorageBackend):
         """Observability snapshot (metrics text + span log) per server."""
         return [conn.stats() for conn in self.connections]
 
+    def health(self) -> list[dict[str, Any]]:
+        """Per-server health/pool snapshot (``dpfs stats`` health column)."""
+        return [
+            {"server": i, **conn.health_snapshot()}
+            for i, conn in enumerate(self.connections)
+        ]
+
     def close(self) -> None:
+        self._prober_stop.set()
+        if self._prober is not None:
+            self._prober.join(timeout=5)
+            self._prober = None
         for conn in self.connections:
             conn.close()
 

@@ -48,8 +48,12 @@ class _Handler(socketserver.BaseRequestHandler):
         while True:
             try:
                 header, payload = recv_message(sock)
-            except ProtocolError:
-                return  # connection closed or garbage: drop it
+            except (ProtocolError, OSError):
+                # closed, reset (ECONNRESET raises OSError inside
+                # _recv_exact, not ProtocolError) or garbage: drop the
+                # connection quietly instead of killing the handler
+                # thread with an unhandled-exception traceback
+                return
             try:
                 reply, data = self.server.owner._dispatch(header, payload)
             except Exception as exc:  # noqa: BLE001 - reported to the client
@@ -287,8 +291,11 @@ class DPFSServer:
             new_name = header.get("new_name")
             if not isinstance(new_name, str) or not new_name:
                 raise ProtocolError("rename needs new_name")
-            if path.exists():
-                path.replace(self._path(new_name))
+            if not path.exists():
+                # a silent ok here would let metadata and storage
+                # diverge unnoticed; fail loudly like ``size`` does
+                raise FileNotFoundError(f"no subfile {name!r}")
+            path.replace(self._path(new_name))
             return {"ok": True}, b""
         if op == "size":
             if not path.exists():

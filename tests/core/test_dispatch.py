@@ -172,6 +172,28 @@ def test_timeout_names_the_stuck_server():
         d.shutdown()
 
 
+def test_timeout_is_one_deadline_from_submission():
+    """``timeout_s`` bounds the whole batch, not each sequential future
+    wait: with 2 workers chewing through 6 × 0.15 s requests (0.45 s of
+    work per worker) and a 0.25 s budget, the old per-future waits never
+    individually expired and the batch quietly took ~2× the deadline."""
+    import time as _time
+
+    def fn(item):
+        _time.sleep(0.15)
+        return item.server
+
+    policy = DispatchPolicy(max_workers=2, timeout_s=0.25)
+    with Dispatcher(policy) as d:
+        start = _time.perf_counter()
+        with pytest.raises(DispatchTimeout):
+            d.run(make_items(6), fn)
+        elapsed = _time.perf_counter() - start
+    # well under the 0.45s+ the old sequential-wait accounting allowed
+    assert elapsed < 0.4, f"batch outlived its deadline: {elapsed:.3f}s"
+    assert d.stats.timeouts == 1
+
+
 def test_nested_dispatch_runs_inline_without_deadlock():
     """A dispatch issued from a pool worker must not wait on pool
     capacity: with one worker, a re-entrant fan-out would deadlock."""

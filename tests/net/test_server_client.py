@@ -138,5 +138,14 @@ def test_rename_over_tcp(conn):
     conn.rename("/old", "/new")
     assert not conn.exists("/old")
     assert conn.read("/new", [(0, 4)]) == b"data"
-    # renaming a missing subfile is a no-op
-    conn.rename("/ghost", "/elsewhere")
+
+
+def test_rename_missing_subfile_raises(conn):
+    """A silent ok would let metadata and storage diverge — the server
+    must report the missing subfile the same way ``size`` does, and the
+    client maps it to FileSystemError like the other ops."""
+    with pytest.raises(FileSystemError):
+        conn.rename("/ghost", "/elsewhere")
+    # the connection survives the error (no desync, no discard)
+    conn.create("/ok")
+    assert conn.exists("/ok")
