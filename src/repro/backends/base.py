@@ -120,6 +120,15 @@ class StorageBackend(ABC):
             )
 
     # -- optional hooks -----------------------------------------------------
+    def server_health(self, server: int) -> int:
+        """Health of one server: 2 = UP, 1 = DEGRADED, 0 = DOWN.
+
+        In-process backends are always UP; the TCP backend overrides
+        this from its connection pools so replicated reads can prefer
+        healthy copies.  Values match :class:`repro.net.client.ServerHealth`.
+        """
+        return 2
+
     def close(self) -> None:
         """Release resources (network connections...)."""
 

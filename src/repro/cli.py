@@ -4,6 +4,7 @@
 ``dpfs server --root DIR --port P`` run one storage server (§2)
 ``dpfs bench fig11|fig12|fig13|fig14|all``  regenerate the §8 figures
 ``dpfs fsck --root DIR [--repair]`` check metadata/storage consistency
+``dpfs scrub --root DIR [--repair]`` checksum-verify every brick copy
 ``dpfs stats``                      Prometheus metrics after a demo roundtrip
 ``dpfs trace``                      span trees + server-side span log
 
@@ -63,6 +64,17 @@ def build_parser() -> argparse.ArgumentParser:
     fsck_p.add_argument("--servers", type=int, default=4)
     fsck_p.add_argument(
         "--repair", action="store_true", help="fix what can be fixed"
+    )
+
+    scrub_p = sub.add_parser(
+        "scrub", help="checksum-verify every brick copy; repair from replicas"
+    )
+    scrub_p.add_argument("--root", required=True, help="DPFS root directory")
+    scrub_p.add_argument("--servers", type=int, default=4)
+    scrub_p.add_argument(
+        "--repair",
+        action="store_true",
+        help="rewrite bad copies from good ones and refresh stale checksums",
     )
 
     for name, help_text in (
@@ -192,7 +204,20 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     report = fsck(fs, repair=args.repair)
     print(report)
     fs.close()
-    return 0 if report.clean or args.repair else 1
+    # nonzero whenever findings remain after this run: a --repair pass
+    # that could not fix everything must not report success
+    return 0 if all(f.repaired for f in report.findings) else 1
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from .core import scrub
+    from .core.filesystem import DPFS
+
+    fs = DPFS.local(args.root, n_servers=args.servers)
+    report = scrub(fs, repair=args.repair)
+    print(report)
+    fs.close()
+    return 0 if not report.unrepaired else 1
 
 
 def _obs_session(args: argparse.Namespace, *, tracing: bool):
@@ -314,6 +339,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_server(args)
     if args.command == "fsck":
         return _cmd_fsck(args)
+    if args.command == "scrub":
+        return _cmd_scrub(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "trace":

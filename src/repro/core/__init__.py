@@ -1,8 +1,16 @@
 """DPFS core: striping methods, placement, request combination, the file
 system facade and its metadata layer."""
 
-from .brick import BrickLocation, BrickMap, BrickSlice
+from .brick import (
+    BrickLocation,
+    BrickMap,
+    BrickSlice,
+    ReplicaMap,
+    is_replica_subfile,
+    replica_subfile,
+)
 from .cache import BrickCache, CacheStats
+from .checksum import CRC_ALGORITHM, checksum, checksum_fn
 from .combine import ServerRequest, SlicePlacement, plan_requests
 from .dispatch import (
     Dispatcher,
@@ -16,7 +24,15 @@ from .fsck import Finding, FsckReport, fsck
 from .handle import FileHandle, IOStats
 from .hints import DEFAULT_BRICK_SIZE, Hint
 from .metadata import FileRecord, MetadataManager, normalize_path, split_path
-from .placement import Greedy, PlacementPolicy, RoundRobin, build_brick_map, make_policy
+from .placement import (
+    Greedy,
+    PlacementPolicy,
+    RoundRobin,
+    build_brick_map,
+    build_replicated_maps,
+    make_policy,
+)
+from .scrub import ScrubFinding, ScrubReport, scrub, verify_file_copies
 from .striping import (
     ArrayStriping,
     FileLevel,
@@ -31,6 +47,13 @@ __all__ = [
     "fsck",
     "FsckReport",
     "Finding",
+    "scrub",
+    "ScrubFinding",
+    "ScrubReport",
+    "verify_file_copies",
+    "CRC_ALGORITHM",
+    "checksum",
+    "checksum_fn",
     "BrickCache",
     "CacheStats",
     "FileHandle",
@@ -45,11 +68,15 @@ __all__ = [
     "BrickSlice",
     "BrickLocation",
     "BrickMap",
+    "ReplicaMap",
+    "replica_subfile",
+    "is_replica_subfile",
     "PlacementPolicy",
     "RoundRobin",
     "Greedy",
     "make_policy",
     "build_brick_map",
+    "build_replicated_maps",
     "plan_requests",
     "ServerRequest",
     "SlicePlacement",

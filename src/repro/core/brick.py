@@ -17,7 +17,28 @@ from collections.abc import Sequence
 
 from ..errors import PlacementError
 
-__all__ = ["BrickSlice", "BrickLocation", "BrickMap"]
+__all__ = [
+    "BrickSlice",
+    "BrickLocation",
+    "BrickMap",
+    "ReplicaMap",
+    "replica_subfile",
+    "is_replica_subfile",
+]
+
+#: Suffix appended to a DPFS path to name the per-server subfile holding
+#: that server's *replica* bricks.  Normalised DPFS paths never contain
+#: ``//``, so this can't collide with any real file's subfile.
+_REPLICA_SUFFIX = "//r"
+
+
+def replica_subfile(path: str) -> str:
+    """Subfile name holding a file's replica bricks on a server."""
+    return path + _REPLICA_SUFFIX
+
+
+def is_replica_subfile(name: str) -> bool:
+    return name.endswith(_REPLICA_SUFFIX)
 
 
 @dataclass(frozen=True)
@@ -158,3 +179,94 @@ class BrickMap:
         for server, bricklist in enumerate(bricklists):
             bmap._server_tail[server] = sum(sizes[b] for b in bricklist)
         return bmap
+
+
+@dataclass
+class ReplicaMap:
+    """Extra copies of each brick, beyond the primary :class:`BrickMap`.
+
+    Replica copies live in a *separate* per-server subfile (see
+    :func:`replica_subfile`) so the primary subfile layout — and the
+    permutation invariant of :meth:`BrickMap.from_lists` — is untouched.
+    Each server's replica subfile holds that server's replica bricks
+    back-to-back in ``bricklists[server]`` order; a brick may appear in
+    several servers' lists (one per extra copy) but never twice on one
+    server.
+
+    ``locations(brick_id)`` returns the replica copies of a brick as
+    :class:`BrickLocation` records against the replica subfile.
+    """
+
+    n_servers: int
+    bricklists: list[list[int]] = field(default_factory=list)
+    _sizes: Sequence[int] = field(default_factory=list)
+    _index: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls, n_servers: int, bricklists: Sequence[Sequence[int]],
+        sizes: Sequence[int],
+    ) -> "ReplicaMap":
+        if len(bricklists) != n_servers:
+            raise PlacementError(
+                f"{len(bricklists)} replica bricklists for {n_servers} servers"
+            )
+        rmap = cls(n_servers=n_servers, bricklists=[list(bl) for bl in bricklists])
+        rmap._sizes = list(sizes)
+        rmap._reindex()
+        return rmap
+
+    def _reindex(self) -> None:
+        self._index = {}
+        for server, bricklist in enumerate(self.bricklists):
+            offset = 0
+            seen: set[int] = set()
+            for brick_id in bricklist:
+                if not 0 <= brick_id < len(self._sizes):
+                    raise PlacementError(
+                        f"replica brick {brick_id} has no size entry"
+                    )
+                if brick_id in seen:
+                    raise PlacementError(
+                        f"brick {brick_id} replicated twice on server {server}"
+                    )
+                seen.add(brick_id)
+                self._index.setdefault(brick_id, []).append((server, offset))
+                offset += self._sizes[brick_id]
+
+    # -- construction ------------------------------------------------------
+    def append(self, brick_id: int, servers: Sequence[int], size: int) -> None:
+        """Record replica copies of a (new) brick on ``servers``."""
+        if len(self._sizes) <= brick_id:
+            self._sizes = list(self._sizes) + [0] * (
+                brick_id + 1 - len(self._sizes)
+            )
+        self._sizes[brick_id] = size  # type: ignore[index]
+        for server in servers:
+            if not 0 <= server < self.n_servers:
+                raise PlacementError(
+                    f"server {server} outside [0, {self.n_servers})"
+                )
+            self.bricklists[server].append(brick_id)
+        self._reindex()
+
+    # -- queries -----------------------------------------------------------
+    def locations(self, brick_id: int) -> list[BrickLocation]:
+        """Replica copies of a brick (offsets inside the replica subfile)."""
+        return [
+            BrickLocation(brick_id, server, offset, self._sizes[brick_id])
+            for server, offset in self._index.get(brick_id, [])
+        ]
+
+    def servers_of(self, brick_id: int) -> list[int]:
+        return [server for server, _ in self._index.get(brick_id, [])]
+
+    def subfile_size(self, server: int) -> int:
+        return sum(self._sizes[b] for b in self.bricklists[server])
+
+    def to_lists(self) -> list[list[int]]:
+        return [list(bl) for bl in self.bricklists]
+
+    @classmethod
+    def empty(cls, n_servers: int, sizes: Sequence[int]) -> "ReplicaMap":
+        return cls.build(n_servers, [[] for _ in range(n_servers)], sizes)

@@ -45,10 +45,17 @@ class ServerRequest:
     ``placements`` keeps the payload mapping (buffer offsets) so the
     client can gather/scatter user data; ``extents`` is the physical
     subfile extent list the server works through.
+
+    ``name`` overrides the subfile the request targets (replica copies
+    live in a separate subfile); ``None`` means the file's primary
+    subfile.  ``copy`` tags which copy (0 = primary) the request serves
+    so write fan-out can account per-copy outcomes.
     """
 
     server: int
     placements: list[SlicePlacement] = field(default_factory=list)
+    name: str | None = None
+    copy: int = 0
 
     @property
     def extents(self) -> list[Extent]:

@@ -14,6 +14,7 @@ algorithms (§4.1) and the request planner (§4.2).
 from __future__ import annotations
 
 import os
+import threading
 from typing import Any, Sequence
 
 from ..backends.base import StorageBackend
@@ -26,7 +27,7 @@ from ..errors import (
 )
 from ..metadb import Database
 from ..obs import MetricsRegistry, Tracer
-from .brick import BrickMap
+from .brick import BrickMap, ReplicaMap, replica_subfile
 from .cache import BrickCache
 from .dispatch import Dispatcher, DispatchPolicy
 from .handle import FileHandle
@@ -56,6 +57,20 @@ class _SubsetPolicy(PlacementPolicy):
 
     def assign_next(self) -> int:
         return self.subset[self.inner.assign_next()]
+
+    def assign_excluding(self, exclude: set[int]) -> int:
+        inner_exclude = {
+            i for i, s in enumerate(self.subset) if s in exclude
+        }
+        return self.subset[self.inner.assign_excluding(inner_exclude)]
+
+    def assign_replicas(self, n_copies: int) -> list[int]:
+        if n_copies > len(self.subset):
+            raise InvalidHint(
+                f"{n_copies} replicas need {n_copies} distinct servers but "
+                f"io_nodes restricts placement to {len(self.subset)}"
+            )
+        return super().assign_replicas(n_copies)
 
 
 class DPFS:
@@ -117,6 +132,30 @@ class DPFS:
             readahead_bricks if self.cache is not None else 0
         )
         self._server_names = [info.name for info in backend.servers]
+        #: copies that failed checksum verification and have not been
+        #: repaired yet: (path, brick_id, server).  Copy selection skips
+        #: these; read-repair and the scrubber clear them.
+        self.quarantine: set[tuple[str, int, int]] = set()
+        #: striped per-path locks serializing read-back + checksum update
+        #: after a write: the last updater of a brick shared by concurrent
+        #: disjoint-extent writers must hash a snapshot that already holds
+        #: every earlier updater's bytes, or it persists a stale CRC.
+        self._crc_locks = [threading.Lock() for _ in range(16)]
+        self._c_failover = self.metrics.counter(
+            "dpfs_read_failovers_total",
+            "reads served from a non-preferred brick copy, by reason",
+        )
+        self._c_repairs = self.metrics.counter(
+            "dpfs_repairs_total", "brick copies rewritten from a good copy"
+        )
+        self._c_checksum = self.metrics.counter(
+            "dpfs_checksum_errors_total",
+            "brick payloads that failed checksum verification",
+        )
+        self._c_degraded = self.metrics.counter(
+            "dpfs_write_degraded_total",
+            "writes that succeeded with fewer than all copies",
+        )
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -195,6 +234,22 @@ class DPFS:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- replication/checksum accounting --------------------------------------
+    def _note_failover(self, reason: str) -> None:
+        self._c_failover.inc(reason=reason)
+
+    def _note_repair(self) -> None:
+        self._c_repairs.inc()
+
+    def _note_checksum_error(self) -> None:
+        self._c_checksum.inc()
+
+    def _note_degraded_write(self) -> None:
+        self._c_degraded.inc()
+
+    def _crc_lock(self, path: str) -> threading.Lock:
+        return self._crc_locks[hash(path) % len(self._crc_locks)]
+
     # -- namespace ------------------------------------------------------------
     def mkdir(self, path: str) -> None:
         self.meta.mkdir(path)
@@ -226,23 +281,34 @@ class DPFS:
         self.meta.set_permission(path, permission)
 
     def remove(self, path: str) -> None:
-        """rm: drop metadata and delete every subfile."""
+        """rm: drop metadata and delete every subfile (replicas too)."""
         norm = normalize_path(path)
         self.meta.remove_file(norm)
         if self.cache is not None:
             self.cache.invalidate_file(norm)
+        self.quarantine = {q for q in self.quarantine if q[0] != norm}
         for server in range(self.backend.n_servers):
             self.backend.delete_subfile(server, norm)
+            self.backend.delete_subfile(server, replica_subfile(norm))
 
     def rename(self, old: str, new: str) -> None:
         """mv: rename a file (metadata re-key + subfile renames)."""
         old_norm = normalize_path(old)
         new_norm = normalize_path(new)
+        replicated = False
+        if self.meta.file_exists(old_norm):
+            record, _ = self.meta.load_file(old_norm)
+            replicated = record.replicas > 1
         self.meta.rename_file(old_norm, new_norm)
         if self.cache is not None:
             self.cache.invalidate_file(old_norm)
+        self.quarantine = {q for q in self.quarantine if q[0] != old_norm}
         for server in range(self.backend.n_servers):
             self.backend.rename_subfile(server, old_norm, new_norm)
+            if replicated:
+                self.backend.rename_subfile(
+                    server, replica_subfile(old_norm), replica_subfile(new_norm)
+                )
 
     def du(self, path: str = "/") -> int:
         """Total logical bytes of all files at or under ``path``."""
@@ -291,7 +357,7 @@ class DPFS:
         use_combine = self.default_combine if combine is None else combine
 
         if mode == "w":
-            record, brick_map = self._create(norm, hint or Hint())
+            record, brick_map, replica_map = self._create(norm, hint or Hint())
         else:
             record, brick_map = self.meta.load_file(norm)
             wanted = 0o400 if mode == "r" else 0o600
@@ -300,6 +366,11 @@ class DPFS:
                     f"{norm}: permission {oct(record.permission)} denies "
                     f"mode {mode!r}"
                 )
+            replica_map = (
+                self.meta.load_replica_map(norm, record)
+                if record.replicas > 1
+                else None
+            )
 
         striping = self._striping_for(record)
         return FileHandle(
@@ -311,6 +382,7 @@ class DPFS:
             rank=rank,
             combine=use_combine,
             stagger=stagger,
+            replica_map=replica_map,
         )
 
     def _striping_for(self, record: FileRecord):
@@ -347,15 +419,30 @@ class DPFS:
             return _SubsetPolicy(inner, subset, n)
         return make_policy(hint.placement, n, performance)
 
-    def _create(self, norm: str, hint: Hint) -> tuple[FileRecord, BrickMap]:
+    def _create(
+        self, norm: str, hint: Hint
+    ) -> tuple[FileRecord, BrickMap, ReplicaMap | None]:
         hint = hint.validate()
+        if hint.replicas > self.backend.n_servers:
+            raise InvalidHint(
+                f"replicas={hint.replicas} exceeds the {self.backend.n_servers} "
+                f"available servers (copies of a brick live on distinct servers)"
+            )
         striping = hint.striping()
         policy = self._placement_policy(hint)
         sizes = striping.brick_sizes()
         brick_map = BrickMap(n_servers=self.backend.n_servers)
-        for size in sizes:
-            brick_map.append(policy.assign_next(), size)
-        self._check_capacity(brick_map)
+        replica_map: ReplicaMap | None = None
+        if hint.replicas > 1:
+            replica_map = ReplicaMap.empty(self.backend.n_servers, list(sizes))
+            for brick_id, size in enumerate(sizes):
+                servers = policy.assign_replicas(hint.replicas)
+                brick_map.append(servers[0], size)
+                replica_map.append(brick_id, servers[1:], size)
+        else:
+            for size in sizes:
+                brick_map.append(policy.assign_next(), size)
+        self._check_capacity(brick_map, replica_map)
         record = FileRecord(
             path=norm,
             owner=self.owner,
@@ -371,19 +458,28 @@ class DPFS:
             pgrid=hint.pgrid,
             placement=hint.placement,
             brick_sizes=list(sizes),
+            replicas=hint.replicas,
         )
-        self.meta.create_file(record, brick_map, self._server_names)
+        self.meta.create_file(
+            record, brick_map, self._server_names, replica_map
+        )
         for server in range(self.backend.n_servers):
             self.backend.create_subfile(server, norm)
-        return record, brick_map
+            if hint.replicas > 1:
+                self.backend.create_subfile(server, replica_subfile(norm))
+        return record, brick_map, replica_map
 
-    def _check_capacity(self, brick_map: BrickMap) -> None:
+    def _check_capacity(
+        self, brick_map: BrickMap, replica_map: ReplicaMap | None = None
+    ) -> None:
         """Reject creations that would exceed a server's capacity (the
         DPFS-SERVER ``capacity`` attribute tells clients how much space
-        each node can still take, §5)."""
+        each node can still take, §5).  Replica copies count in full."""
         usage = self.meta.server_usage()
         for info, server in zip(self.backend.servers, range(self.backend.n_servers)):
             needed = brick_map.subfile_size(server)
+            if replica_map is not None:
+                needed += replica_map.subfile_size(server)
             used = usage.get(server, 0)
             if needed and used + needed > info.capacity:
                 raise FileSystemError(
@@ -399,20 +495,43 @@ class DPFS:
         new_bricks = striping.grow_to(new_size)
         if new_bricks:
             counts = handle.brick_map.bricks_per_server()
+            replica_map = handle.replica_map
+            if replica_map is not None:
+                # greedy accumulated time covers replica bricks too
+                for server, bricklist in enumerate(replica_map.bricklists):
+                    counts[server] += len(bricklist)
             performance = [info.performance for info in self.backend.servers]
             if record.placement == "greedy":
                 policy: PlacementPolicy = Greedy.resume(performance, counts)
             else:
                 policy = RoundRobin(
-                    self.backend.n_servers, start=len(handle.brick_map)
+                    self.backend.n_servers,
+                    start=len(handle.brick_map) * record.replicas,
                 )
             for _ in range(new_bricks):
-                handle.brick_map.append(policy.assign_next(), striping.brick_size)
+                if record.replicas > 1 and replica_map is not None:
+                    brick_id = len(handle.brick_map)
+                    servers = policy.assign_replicas(record.replicas)
+                    handle.brick_map.append(servers[0], striping.brick_size)
+                    replica_map.append(
+                        brick_id, servers[1:], striping.brick_size
+                    )
+                else:
+                    handle.brick_map.append(
+                        policy.assign_next(), striping.brick_size
+                    )
             record.brick_sizes = [striping.brick_size] * len(handle.brick_map)
+            record.brick_crcs = record.brick_crcs + [None] * (
+                len(handle.brick_map) - len(record.brick_crcs)
+            )
             self.meta.update_distribution(
                 record.path, handle.brick_map, record.brick_sizes,
                 self._server_names,
             )
+            if record.replicas > 1 and replica_map is not None:
+                self.meta.update_replica_map(
+                    record.path, replica_map, self._server_names
+                )
         record.size = new_size
         self.meta.update_file_size(record.path, new_size)
 

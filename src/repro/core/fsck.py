@@ -10,6 +10,9 @@ repairs) drift between them:
 ``missing-subfile``    a bricklist references a server where the subfile
                        does not exist (repair: recreate empty; sparse
                        semantics make unwritten bricks read as zeros)
+``missing-replica``    a replica bricklist references a server where the
+                       replica subfile does not exist (repair: recreate
+                       and refill every replica brick from its primary)
 ``orphan-subfile``     a server holds a subfile no metadata references
                        (repair: delete)
 ``bad-brick-map``      a file's distribution rows are not a permutation of
@@ -19,6 +22,12 @@ repairs) drift between them:
 ``unlinked-file``      a file has attr rows but no directory entry
                        (repair: link into its parent, creating parents)
 =====================  =====================================================
+
+With ``deep=True`` (the default) fsck additionally runs the scrubber's
+copy verification over every file, surfacing ``checksum-mismatch``,
+``stale-checksum``, ``replica-divergence`` and ``unreadable-copy``
+findings with the same repair semantics as ``dpfs scrub``
+(:mod:`repro.core.scrub`).
 
     report = fsck(fs)
     if not report.clean:
@@ -78,8 +87,15 @@ class FsckReport:
         return "\n".join(lines)
 
 
-def fsck(fs: "DPFS", repair: bool = False) -> FsckReport:
-    """Cross-check metadata against storage; optionally repair."""
+def fsck(fs: "DPFS", repair: bool = False, *, deep: bool = True) -> FsckReport:
+    """Cross-check metadata against storage; optionally repair.
+
+    ``deep=True`` adds the scrubber's checksum verification of every
+    brick copy (reads all data; disable for a metadata-only pass).
+    """
+    from .brick import replica_subfile
+    from .scrub import verify_file_copies
+
     report = FsckReport()
     meta = fs.meta
     backend = fs.backend
@@ -91,7 +107,7 @@ def fsck(fs: "DPFS", repair: bool = False) -> FsckReport:
         report.files_checked += 1
         referenced.add(path)
         try:
-            _record, bmap = meta.load_file(path)
+            record, bmap = meta.load_file(path)
         except DPFSError as exc:
             report.findings.append(
                 Finding("bad-brick-map", path, str(exc))
@@ -111,6 +127,53 @@ def fsck(fs: "DPFS", repair: bool = False) -> FsckReport:
                         path,
                         f"server {server} holds bricks but no subfile",
                         repaired,
+                    )
+                )
+        if record.replicas > 1:
+            rname = replica_subfile(path)
+            referenced.add(rname)
+            try:
+                rmap = meta.load_replica_map(path, record)
+            except DPFSError as exc:
+                report.findings.append(
+                    Finding("bad-brick-map", path, f"replica map: {exc}")
+                )
+                continue
+            for server in range(backend.n_servers):
+                if not rmap.bricklists[server]:
+                    continue
+                if not backend.subfile_exists(server, rname):
+                    repaired = False
+                    if repair:
+                        repaired = _refill_replica_subfile(
+                            fs, path, bmap, rmap, server
+                        )
+                    report.findings.append(
+                        Finding(
+                            "missing-replica",
+                            path,
+                            f"server {server} holds replica bricks but no "
+                            f"replica subfile",
+                            repaired,
+                        )
+                    )
+
+    # -- deep pass: checksum-verify every copy of every brick ------------------
+    if deep:
+        for path in meta.iter_files():
+            try:
+                copy_findings = verify_file_copies(fs, path, repair=repair)
+            except DPFSError:
+                continue  # already reported as bad-brick-map above
+            for cf in copy_findings:
+                report.findings.append(
+                    Finding(
+                        cf.kind,
+                        cf.path,
+                        f"brick {cf.brick_id}"
+                        + (f" server {cf.server}" if cf.server >= 0 else "")
+                        + f": {cf.detail}",
+                        cf.repaired,
                     )
                 )
 
@@ -199,6 +262,33 @@ def fsck(fs: "DPFS", repair: bool = False) -> FsckReport:
                     )
                 )
     return report
+
+
+def _refill_replica_subfile(fs, path, bmap, rmap, server: int) -> bool:
+    """Recreate a lost replica subfile and refill it from the primaries."""
+    from ..errors import DPFSError as _DPFSError
+    from .brick import replica_subfile
+
+    rname = replica_subfile(path)
+    backend = fs.backend
+    try:
+        backend.create_subfile(server, rname)
+        for rloc in (
+            rl
+            for b in rmap.bricklists[server]
+            for rl in rmap.locations(b)
+            if rl.server == server
+        ):
+            ploc = bmap.location(rloc.brick_id)
+            data = backend.read_extents(
+                ploc.server, path, [(ploc.local_offset, ploc.size)]
+            )
+            backend.write_extents(
+                server, rname, [(rloc.local_offset, rloc.size)], bytes(data)
+            )
+    except (_DPFSError, OSError):
+        return False
+    return True
 
 
 def _unlink_dir_entry(meta, parent: str, name: str, *, is_dir: bool) -> None:

@@ -31,13 +31,20 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..datatypes import Datatype
-from ..errors import BadFileHandle, FileSystemError, StripingError
+from ..errors import (
+    BadFileHandle,
+    ChecksumError,
+    DPFSError,
+    FileSystemError,
+    StripingError,
+)
 from ..hpf.regions import Region
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import span
 from ..util import Extent
-from .brick import BrickMap, BrickSlice
-from .combine import plan_requests
+from .brick import BrickLocation, BrickMap, BrickSlice, ReplicaMap, replica_subfile
+from .checksum import checksum_fn
+from .combine import ServerRequest, SlicePlacement, plan_requests
 from .metadata import FileRecord
 from .striping import FileLevel, LinearStriping, StripingMethod
 
@@ -175,10 +182,12 @@ class FileHandle:
         rank: int = 0,
         combine: bool = True,
         stagger: bool = True,
+        replica_map: ReplicaMap | None = None,
     ) -> None:
         self.fs = fs
         self.record = record
         self.brick_map = brick_map
+        self.replica_map = replica_map
         self.striping = striping
         self.mode = mode
         self.rank = rank
@@ -189,6 +198,13 @@ class FileHandle:
         #: read-ahead state: one past the last brick id fetched by a
         #: cache-enabled read (sequential-pattern detector)
         self._next_expected_brick = 0
+        #: checksum routine matching the file's stored checksums; None
+        #: when the algorithm is unknown here (verification is skipped —
+        #: never a false corruption verdict)
+        try:
+            self._crc = checksum_fn(record.crc_algo)
+        except KeyError:
+            self._crc = None
 
     # -- bookkeeping ---------------------------------------------------------
     @property
@@ -392,6 +408,104 @@ class FileHandle:
             stagger=self.stagger,
         )
 
+    # -- replica copy bookkeeping -----------------------------------------
+    def _has_replicas(self) -> bool:
+        rmap = self.replica_map
+        return rmap is not None and any(rmap.bricklists)
+
+    def _copy_locations(
+        self, brick_id: int
+    ) -> list[tuple[int, BrickLocation, str]]:
+        """All copies of a brick as ``(copy_index, location, subfile)``.
+
+        Copy 0 is always the primary; replica indices follow the replica
+        map's deterministic order, so a request's ``copy`` tag resolves
+        back to the same location here.
+        """
+        copies = [(0, self.brick_map.location(brick_id), self.record.path)]
+        if self.replica_map is not None:
+            rname = replica_subfile(self.record.path)
+            for i, loc in enumerate(
+                self.replica_map.locations(brick_id), start=1
+            ):
+                copies.append((i, loc, rname))
+        return copies
+
+    def _choose_copy(self, brick_id: int) -> tuple[int, BrickLocation, str]:
+        """Copy to read: primary when UP, else the first healthy copy.
+
+        Quarantined copies (a failed verification not yet repaired) are
+        skipped; a DEGRADED server is only used when nothing is UP, and
+        when every copy is excluded the primary is returned so the error
+        surfaces from the actual read.
+        """
+        copies = self._copy_locations(brick_id)
+        if len(copies) == 1:
+            return copies[0]
+        quarantine = self.fs.quarantine
+        backend = self.fs.backend
+        fallback = None
+        for entry in copies:
+            idx, loc, _name = entry
+            if (self.record.path, brick_id, loc.server) in quarantine:
+                continue
+            health = backend.server_health(loc.server)
+            if health >= 2:
+                if idx != 0:
+                    self.fs._note_failover("health")
+                return entry
+            if fallback is None and health >= 1:
+                fallback = entry
+        if fallback is not None:
+            if fallback[0] != 0:
+                self.fs._note_failover("health")
+            return fallback
+        return copies[0]
+
+    def _stored_crc(self, brick_id: int) -> int | None:
+        crcs = self.record.brick_crcs
+        return crcs[brick_id] if brick_id < len(crcs) else None
+
+    def _plan_read(self, slices: list[BrickSlice]) -> list[ServerRequest]:
+        """Wire plan with a health/quarantine-aware copy choice per brick."""
+        if not self._has_replicas():
+            return self._plan(slices)
+        primary: list[BrickSlice] = []
+        groups: dict[tuple[int, int], list[SlicePlacement]] = {}
+        for s in slices:
+            idx, loc, _name = self._choose_copy(s.brick_id)
+            if idx == 0:
+                primary.append(s)
+            else:
+                groups.setdefault((loc.server, idx), []).append(
+                    SlicePlacement(s, loc.server, loc.local_offset + s.offset)
+                )
+        plan = self._plan(primary) if primary else []
+        rname = replica_subfile(self.record.path)
+        for (server, idx), placements in sorted(groups.items()):
+            plan.append(
+                ServerRequest(server, placements, name=rname, copy=idx)
+            )
+        return plan
+
+    def _plan_write(self, slices: list[BrickSlice]) -> list[ServerRequest]:
+        """Primary plan plus one request per (server, replica copy)."""
+        plan = self._plan(slices)
+        if not self._has_replicas():
+            return plan
+        groups: dict[tuple[int, int], list[SlicePlacement]] = {}
+        for s in slices:
+            for idx, loc, _name in self._copy_locations(s.brick_id)[1:]:
+                groups.setdefault((loc.server, idx), []).append(
+                    SlicePlacement(s, loc.server, loc.local_offset + s.offset)
+                )
+        rname = replica_subfile(self.record.path)
+        for (server, idx), placements in sorted(groups.items()):
+            plan.append(
+                ServerRequest(server, placements, name=rname, copy=idx)
+            )
+        return plan
+
     def _execute_read(self, slices: list[BrickSlice], total: int) -> bytes:
         with self.fs.tracer.trace(
             "handle.read", path=self.record.path, bytes=total
@@ -504,18 +618,33 @@ class FileHandle:
         """
         backend = self.fs.backend
         with span("combine.plan", slices=len(slices)) as plan_span:
-            plan = self._plan(slices)
+            plan = self._plan_read(slices)
             plan_span.tag(requests=len(plan), combine=self.combine)
 
         def fetch(req) -> int:
-            data = backend.read_extents(req.server, self.record.path, req.extents)
+            name = req.name if req.name is not None else self.record.path
+            try:
+                data = backend.read_extents(req.server, name, req.extents)
+            except (DPFSError, OSError):
+                if not self._has_replicas():
+                    raise
+                # the chosen copy's server failed mid-read: serve every
+                # slice of this request from a surviving copy instead
+                self.fs._note_failover("error")
+                total = 0
+                for p in req.placements:
+                    blob = self._read_alternate(p.slice, exclude_server=req.server)
+                    bo = p.slice.buffer_offset
+                    payload[bo : bo + p.slice.length] = blob
+                    total += p.slice.length
+                return total
             pos = 0
             for p in req.placements:
                 ln = p.slice.length
-                payload[p.slice.buffer_offset : p.slice.buffer_offset + ln] = data[
-                    pos : pos + ln
-                ]
+                blob = data[pos : pos + ln]
                 pos += ln
+                blob = self._verified(p, blob, name)
+                payload[p.slice.buffer_offset : p.slice.buffer_offset + ln] = blob
             return len(data)
 
         def done(req, result) -> None:
@@ -532,6 +661,101 @@ class FileHandle:
 
         self.fs.dispatcher.run(plan, fetch, on_result=done)
 
+    # -- verification, failover, read-repair -------------------------------
+    def _verified(self, p: SlicePlacement, blob: bytes, name: str) -> bytes:
+        """End-to-end check of a full-brick payload against metadata.
+
+        Only full-brick placements can be verified (the stored CRC
+        covers the whole brick); partial reads pass through — the
+        scrubber covers them at rest.  On mismatch the copy is
+        quarantined and the brick is served from a copy that verifies,
+        which is then written back over the bad copy (inline
+        read-repair).
+        """
+        s = p.slice
+        if self._crc is None:
+            return blob
+        if s.offset != 0 or s.length != self.brick_map.location(s.brick_id).size:
+            return blob
+        want = self._stored_crc(s.brick_id)
+        if want is None or self._crc(bytes(blob), 0) == want:
+            return blob
+        self.fs._note_checksum_error()
+        self.fs.quarantine.add((self.record.path, s.brick_id, p.server))
+        if not self._has_replicas():
+            raise ChecksumError(
+                f"{self.record.path} brick {s.brick_id}: payload does not "
+                f"match stored {self.record.crc_algo} checksum and the file "
+                f"has no replicas"
+            )
+        self.fs._note_failover("checksum")
+        good = self._read_alternate(s, exclude_server=p.server)
+        self._repair_copy(s.brick_id, p.server, name, good)
+        return good
+
+    def _read_alternate(self, s: BrickSlice, *, exclude_server: int) -> bytes:
+        """Read one slice from any surviving copy, verifying when possible.
+
+        Tries copies in preference order (primary first), skipping the
+        failed server and quarantined copies.  Raises the last transport
+        error — or :class:`ChecksumError` when every reachable copy
+        fails verification.
+        """
+        backend = self.fs.backend
+        full = (
+            s.offset == 0
+            and s.length == self.brick_map.location(s.brick_id).size
+        )
+        want = self._stored_crc(s.brick_id) if full and self._crc else None
+        last_exc: Exception | None = None
+        for _idx, loc, name in self._copy_locations(s.brick_id):
+            if loc.server == exclude_server:
+                continue
+            if (self.record.path, s.brick_id, loc.server) in self.fs.quarantine:
+                continue
+            try:
+                blob = backend.read_extents(
+                    loc.server, name,
+                    [(loc.local_offset + s.offset, s.length)],
+                )
+            except (DPFSError, OSError) as exc:
+                last_exc = exc
+                continue
+            if want is not None and self._crc(bytes(blob), 0) != want:
+                self.fs._note_checksum_error()
+                self.fs.quarantine.add(
+                    (self.record.path, s.brick_id, loc.server)
+                )
+                continue
+            return blob
+        if last_exc is not None:
+            raise last_exc
+        raise ChecksumError(
+            f"{self.record.path} brick {s.brick_id}: no reachable copy "
+            f"matches the stored {self.record.crc_algo} checksum"
+        )
+
+    def _repair_copy(
+        self, brick_id: int, server: int, name: str, good: bytes
+    ) -> None:
+        """Overwrite a corrupt copy with verified bytes (best-effort).
+
+        Success lifts the quarantine and counts a repair; failure (the
+        server may be down) leaves the copy quarantined for the scrubber.
+        """
+        for _idx, loc, cname in self._copy_locations(brick_id):
+            if loc.server != server or cname != name:
+                continue
+            try:
+                self.fs.backend.write_extents(
+                    server, name, [(loc.local_offset, loc.size)], bytes(good)
+                )
+            except (DPFSError, OSError):
+                return
+            self.fs.quarantine.discard((self.record.path, brick_id, server))
+            self.fs._note_repair()
+            return
+
     def _execute_write(self, slices: list[BrickSlice], data: bytes) -> None:
         with self.fs.tracer.trace(
             "handle.write", path=self.record.path, bytes=len(data)
@@ -541,18 +765,24 @@ class FileHandle:
     def _execute_write_inner(self, slices: list[BrickSlice], data: bytes) -> None:
         backend = self.fs.backend
         with span("combine.plan", slices=len(slices)) as plan_span:
-            plan = self._plan(slices)
+            plan = self._plan_write(slices)
             plan_span.tag(requests=len(plan), combine=self.combine)
+
+        succeeded: list[ServerRequest] = []
+        success_lock = threading.Lock()
 
         def put(req) -> int:
             blob = b"".join(
                 data[p.slice.buffer_offset : p.slice.buffer_offset + p.slice.length]
                 for p in req.placements
             )
-            backend.write_extents(req.server, self.record.path, req.extents, blob)
+            name = req.name if req.name is not None else self.record.path
+            backend.write_extents(req.server, name, req.extents, blob)
             return len(blob)
 
         def done(req, result) -> None:
+            with success_lock:
+                succeeded.append(req)
             self.stats.record(
                 req.server,
                 result.value,
@@ -564,7 +794,22 @@ class FileHandle:
                 backoff_s=result.backoff_s,
             )
 
-        self.fs.dispatcher.run(plan, put, on_result=done)
+        try:
+            self.fs.dispatcher.run(plan, put, on_result=done)
+        except (DPFSError, OSError):
+            # Quorum-less degraded write: the write stands as long as
+            # every touched brick reached at least one copy — stale
+            # copies on the failed server are caught later by checksum
+            # verification and repaired by read-repair or the scrubber.
+            if not self._has_replicas():
+                raise
+            written: set[int] = set()
+            for req in succeeded:
+                written.update(req.brick_ids)
+            if not {s.brick_id for s in slices} <= written:
+                raise
+            self.fs._note_degraded_write()
+        self._update_crcs(slices, data, succeeded)
         cache = self.fs.cache
         if cache is not None:
             # write-through coherence: patch any cached image in place
@@ -576,6 +821,76 @@ class FileHandle:
                         s.offset,
                         data[s.buffer_offset : s.buffer_offset + s.length],
                     )
+
+    def _update_crcs(
+        self,
+        slices: list[BrickSlice],
+        data: bytes,
+        succeeded: list[ServerRequest],
+    ) -> None:
+        """Recompute and persist the checksums of every written brick.
+
+        A brick fully covered by one slice hashes the payload directly;
+        a partially written brick is read back in full from a copy that
+        took this write.  All touched bricks land in one metadata
+        transaction.
+
+        Read-back and update run under a per-path lock: concurrent
+        disjoint-extent writers share boundary bricks, and the last
+        updater must hash a snapshot that already holds every earlier
+        updater's bytes — an unlocked read-back can persist a CRC that
+        misses a peer's landed data.  (Full-brick slices need no lock:
+        disjoint writers by definition never share a fully-covered
+        brick, and overlapping writers are a data race regardless.)
+        """
+        if self._crc is None:
+            return
+        by_brick: dict[int, list[BrickSlice]] = {}
+        for s in slices:
+            by_brick.setdefault(s.brick_id, []).append(s)
+        written_copies: set[tuple[int, int]] = set()  # (brick, copy)
+        for req in succeeded:
+            for b in req.brick_ids:
+                written_copies.add((b, req.copy))
+        with self.fs._crc_lock(self.record.path):
+            new_crcs: dict[int, int | None] = {}
+            for brick_id, ss in by_brick.items():
+                size = self.brick_map.location(brick_id).size
+                full = next(
+                    (s for s in ss if s.offset == 0 and s.length == size), None
+                )
+                if full is not None:
+                    blob = data[full.buffer_offset : full.buffer_offset + size]
+                    new_crcs[brick_id] = self._crc(bytes(blob), 0)
+                else:
+                    back = self._read_back(brick_id, size, written_copies)
+                    new_crcs[brick_id] = (
+                        self._crc(back, 0) if back is not None else None
+                    )
+            self.fs.meta.update_brick_crcs(self.record.path, new_crcs)
+            crcs = self.record.brick_crcs
+            if len(crcs) < len(self.brick_map):
+                crcs += [None] * (len(self.brick_map) - len(crcs))
+            for brick_id, crc in new_crcs.items():
+                crcs[brick_id] = crc
+
+    def _read_back(
+        self, brick_id: int, size: int, written_copies: set[tuple[int, int]]
+    ) -> bytes | None:
+        """Full brick contents from a copy this write reached, else None."""
+        backend = self.fs.backend
+        for idx, loc, name in self._copy_locations(brick_id):
+            if written_copies and (brick_id, idx) not in written_copies:
+                continue
+            try:
+                return bytes(
+                    backend.read_extents(
+                        loc.server, name, [(loc.local_offset, size)]
+                    )
+                )
+            except (DPFSError, OSError):
+                continue
+        return None
 
     # ------------------------------------------------------------------
     # growth (linear level)

@@ -58,6 +58,9 @@ class Hint:
     placement: str = "round_robin"
     #: expected file size for linear files created by this open
     file_size: int = 0
+    #: copies kept of every brick (1 = no redundancy); each copy of a
+    #: brick lands on a distinct server
+    replicas: int = 1
 
     # -- constructors for the three levels ---------------------------------
     @classmethod
@@ -116,6 +119,8 @@ class Hint:
         hint = self
         if hint.element_size <= 0:
             raise InvalidHint("element_size must be positive")
+        if hint.replicas < 1:
+            raise InvalidHint("replicas must be >= 1")
         if hint.level is FileLevel.LINEAR:
             if hint.brick_size <= 0:
                 raise InvalidHint("brick_size must be positive")

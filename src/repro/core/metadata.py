@@ -17,6 +17,12 @@ paper's names become underscores — SQL identifiers):
     filename, owner, permission, size, filelevel, striping geometry
     (JSON), placement — per-file attributes incl. the §3 file level.
 
+A fifth table, ``dpfs_file_replica``, extends the paper's schema with
+per-server *replica* bricklists (same shape as the distribution table)
+for files created with ``replicas > 1``; the geometry JSON additionally
+carries ``replicas``, the per-brick ``brick_crcs`` checksum list, and
+the ``crc_algo`` those checksums were computed under.
+
 :class:`MetadataManager` is the only component that speaks SQL; the
 file system above it works with :class:`FileRecord` objects.
 """
@@ -24,7 +30,7 @@ file system above it works with :class:`FileRecord` objects.
 from __future__ import annotations
 
 import posixpath
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import (
@@ -34,7 +40,8 @@ from ..errors import (
     MetaDBError,
 )
 from ..metadb import Database
-from .brick import BrickMap
+from .brick import BrickMap, ReplicaMap
+from .checksum import CRC_ALGORITHM
 from .striping import FileLevel
 
 __all__ = ["MetadataManager", "FileRecord", "normalize_path", "split_path"]
@@ -81,6 +88,17 @@ class FileRecord:
     pgrid: tuple[int, ...] | None
     placement: str
     brick_sizes: list[int]          # per-brick byte sizes (brick-id order)
+    #: copies of every brick (1 = unreplicated)
+    replicas: int = 1
+    #: per-brick payload checksums (brick-id order); ``None`` = never
+    #: written / unknown — verification skips those bricks
+    brick_crcs: list[int | None] = field(default_factory=list)
+    #: algorithm the stored checksums were computed under
+    crc_algo: str = CRC_ALGORITHM
+
+    def __post_init__(self) -> None:
+        if not self.brick_crcs:
+            self.brick_crcs = [None] * len(self.brick_sizes)
 
 
 class MetadataManager:
@@ -111,6 +129,17 @@ class MetadataManager:
         self.db.execute(
             "CREATE INDEX IF NOT EXISTS dist_by_filename "
             "ON dpfs_file_distribution (filename)"
+        )
+        self.db.execute(
+            "CREATE TABLE IF NOT EXISTS dpfs_file_replica ("
+            " dist_id TEXT PRIMARY KEY,"      # f"{server}|{filename}"
+            " server_name TEXT NOT NULL,"
+            " filename TEXT NOT NULL,"
+            " bricklist JSON NOT NULL)"
+        )
+        self.db.execute(
+            "CREATE INDEX IF NOT EXISTS replica_by_filename "
+            "ON dpfs_file_replica (filename)"
         )
         self.db.execute(
             "CREATE TABLE IF NOT EXISTS dpfs_directory ("
@@ -259,6 +288,7 @@ class MetadataManager:
         record: FileRecord,
         brick_map: BrickMap,
         server_names: list[str],
+        replica_map: ReplicaMap | None = None,
     ) -> None:
         """Insert attr + distribution rows and link into the directory."""
         norm = normalize_path(record.path)
@@ -283,6 +313,9 @@ class MetadataManager:
                 "nprocs": record.nprocs,
                 "pgrid": list(record.pgrid) if record.pgrid else None,
                 "brick_sizes": record.brick_sizes,
+                "replicas": record.replicas,
+                "brick_crcs": record.brick_crcs,
+                "crc_algo": record.crc_algo,
             }
             self.db.execute(
                 "INSERT INTO dpfs_file_attr VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
@@ -307,6 +340,19 @@ class MetadataManager:
                         bricklist,
                     ],
                 )
+            if replica_map is not None:
+                for server, bricklist in enumerate(replica_map.to_lists()):
+                    if not bricklist:
+                        continue
+                    self.db.execute(
+                        "INSERT INTO dpfs_file_replica VALUES (?, ?, ?, ?)",
+                        [
+                            f"{server_names[server]}|{norm}",
+                            server_names[server],
+                            norm,
+                            bricklist,
+                        ],
+                    )
 
     def load_file(self, path: str) -> tuple[FileRecord, BrickMap]:
         norm = normalize_path(path)
@@ -332,6 +378,12 @@ class MetadataManager:
             pgrid=tuple(geometry["pgrid"]) if geometry["pgrid"] else None,
             placement=attr["placement"],
             brick_sizes=list(geometry["brick_sizes"]),
+            replicas=geometry.get("replicas", 1),
+            brick_crcs=list(
+                geometry.get("brick_crcs")
+                or [None] * len(geometry["brick_sizes"])
+            ),
+            crc_algo=geometry.get("crc_algo", CRC_ALGORITHM),
         )
         dist = self.db.execute(
             "SELECT server_name, bricklist FROM dpfs_file_distribution "
@@ -350,6 +402,89 @@ class MetadataManager:
                 ) from None
         brick_map = BrickMap.from_lists(bricklists, record.brick_sizes)
         return record, brick_map
+
+    def load_replica_map(self, path: str, record: FileRecord) -> ReplicaMap:
+        """The file's replica bricklists (empty map for replicas == 1)."""
+        norm = normalize_path(path)
+        order = {row["server_name"]: row["server_id"] for row in self.servers()}
+        bricklists: list[list[int]] = [[] for _ in order]
+        for row in self.db.execute(
+            "SELECT server_name, bricklist FROM dpfs_file_replica "
+            "WHERE filename = ?",
+            [norm],
+        ).rows:
+            server_id = order.get(row["server_name"])
+            if server_id is None:
+                raise MetaDBError(
+                    f"replica row references unknown server "
+                    f"{row['server_name']!r}"
+                )
+            bricklists[server_id] = list(row["bricklist"])
+        return ReplicaMap.build(len(order), bricklists, record.brick_sizes)
+
+    def update_replica_map(
+        self, path: str, replica_map: ReplicaMap, server_names: list[str]
+    ) -> None:
+        """Rewrite replica bricklists after a replicated file grew."""
+        norm = normalize_path(path)
+        with self.db.transaction():
+            for server, bricklist in enumerate(replica_map.to_lists()):
+                if not bricklist:
+                    continue
+                dist_id = f"{server_names[server]}|{norm}"
+                existing = self.db.execute(
+                    "SELECT dist_id FROM dpfs_file_replica WHERE dist_id = ?",
+                    [dist_id],
+                ).rows
+                if existing:
+                    self.db.execute(
+                        "UPDATE dpfs_file_replica SET bricklist = ? "
+                        "WHERE dist_id = ?",
+                        [bricklist, dist_id],
+                    )
+                else:
+                    self.db.execute(
+                        "INSERT INTO dpfs_file_replica VALUES (?, ?, ?, ?)",
+                        [dist_id, server_names[server], norm, bricklist],
+                    )
+
+    def update_brick_crcs(
+        self, path: str, crcs: dict[int, int | None]
+    ) -> None:
+        """Merge freshly computed per-brick checksums into the geometry.
+
+        One transaction per *write call*, not per brick — the handle
+        batches every brick a write touched into a single ``crcs`` dict.
+        """
+        if not crcs:
+            return
+        norm = normalize_path(path)
+        with self.db.transaction():
+            rows = self.db.execute(
+                "SELECT geometry FROM dpfs_file_attr WHERE filename = ?",
+                [norm],
+            ).rows
+            if not rows:
+                raise FileNotFound(norm)
+            geometry = dict(rows[0]["geometry"])
+            stored = list(
+                geometry.get("brick_crcs")
+                or [None] * len(geometry["brick_sizes"])
+            )
+            if len(stored) < len(geometry["brick_sizes"]):
+                stored += [None] * (len(geometry["brick_sizes"]) - len(stored))
+            for brick_id, crc in crcs.items():
+                if not 0 <= brick_id < len(stored):
+                    raise MetaDBError(
+                        f"brick {brick_id} outside crc table of {len(stored)}"
+                    )
+                stored[brick_id] = crc
+            geometry["brick_crcs"] = stored
+            geometry.setdefault("crc_algo", CRC_ALGORITHM)
+            self.db.execute(
+                "UPDATE dpfs_file_attr SET geometry = ? WHERE filename = ?",
+                [geometry, norm],
+            )
 
     def update_file_size(self, path: str, size: int) -> None:
         self.db.execute(
@@ -372,6 +507,12 @@ class MetadataManager:
                 raise FileNotFound(norm)
             geometry = dict(rows[0]["geometry"])
             geometry["brick_sizes"] = list(brick_sizes)
+            crcs = list(
+                geometry.get("brick_crcs") or []
+            )
+            if len(crcs) < len(brick_sizes):  # new bricks: crc unknown
+                crcs += [None] * (len(brick_sizes) - len(crcs))
+            geometry["brick_crcs"] = crcs[: len(brick_sizes)]
             self.db.execute(
                 "UPDATE dpfs_file_attr SET geometry = ? WHERE filename = ?",
                 [geometry, norm],
@@ -413,6 +554,10 @@ class MetadataManager:
             )
             self.db.execute(
                 "DELETE FROM dpfs_file_distribution WHERE filename = ?",
+                [norm],
+            )
+            self.db.execute(
+                "DELETE FROM dpfs_file_replica WHERE filename = ?",
                 [norm],
             )
 
@@ -468,21 +613,22 @@ class MetadataManager:
                 "UPDATE dpfs_file_attr SET filename = ? WHERE filename = ?",
                 [new_norm, old_norm],
             )
-            rows = self.db.execute(
-                "SELECT dist_id, server_name FROM dpfs_file_distribution "
-                "WHERE filename = ?",
-                [old_norm],
-            ).rows
-            for row in rows:
-                self.db.execute(
-                    "UPDATE dpfs_file_distribution SET dist_id = ?, "
-                    "filename = ? WHERE dist_id = ?",
-                    [
-                        f"{row['server_name']}|{new_norm}",
-                        new_norm,
-                        row["dist_id"],
-                    ],
-                )
+            for table in ("dpfs_file_distribution", "dpfs_file_replica"):
+                rows = self.db.execute(
+                    f"SELECT dist_id, server_name FROM {table} "
+                    "WHERE filename = ?",
+                    [old_norm],
+                ).rows
+                for row in rows:
+                    self.db.execute(
+                        f"UPDATE {table} SET dist_id = ?, "
+                        "filename = ? WHERE dist_id = ?",
+                        [
+                            f"{row['server_name']}|{new_norm}",
+                            new_norm,
+                            row["dist_id"],
+                        ],
+                    )
 
     def tree_usage(self, path: str) -> int:
         """Total logical bytes of all files at or under ``path`` (du)."""
@@ -510,17 +656,17 @@ class MetadataManager:
                 "SELECT filename, geometry FROM dpfs_file_attr"
             ).rows
         }
-        for row in self.db.execute(
-            "SELECT server_name, filename, bricklist "
-            "FROM dpfs_file_distribution"
-        ).rows:
-            sizes = attrs.get(row["filename"])
-            if sizes is None:
-                continue
-            server_id = order.get(row["server_name"])
-            if server_id is None:
-                continue
-            usage[server_id] += sum(sizes[b] for b in row["bricklist"])
+        for table in ("dpfs_file_distribution", "dpfs_file_replica"):
+            for row in self.db.execute(
+                f"SELECT server_name, filename, bricklist FROM {table}"
+            ).rows:
+                sizes = attrs.get(row["filename"])
+                if sizes is None:
+                    continue
+                server_id = order.get(row["server_name"])
+                if server_id is None:
+                    continue
+                usage[server_id] += sum(sizes[b] for b in row["bricklist"])
         return usage
 
     def set_permission(self, path: str, permission: int) -> None:

@@ -34,13 +34,14 @@ from abc import ABC, abstractmethod
 from collections.abc import Sequence
 
 from ..errors import PlacementError
-from .brick import BrickMap
+from .brick import BrickMap, ReplicaMap
 
 __all__ = [
     "PlacementPolicy",
     "RoundRobin",
     "Greedy",
     "build_brick_map",
+    "build_replicated_maps",
     "make_policy",
 ]
 
@@ -66,6 +67,30 @@ class PlacementPolicy(ABC):
         """Convenience: assignment vector for ``n_bricks`` bricks."""
         return [self.assign_next() for _ in range(n_bricks)]
 
+    @abstractmethod
+    def assign_excluding(self, exclude: set[int]) -> int:
+        """Server for the next copy of the *current* brick, never one in
+        ``exclude`` — replica copies of a brick must land on distinct
+        servers.  Advances policy state exactly like :meth:`assign_next`.
+        """
+
+    def assign_replicas(self, n_copies: int) -> list[int]:
+        """Distinct servers for all copies of the next brick.
+
+        The first entry is the primary; the rest are replicas.  Raises
+        :class:`PlacementError` when ``n_copies`` exceeds the server
+        count (a brick can't have two copies on one server).
+        """
+        if n_copies > self.n_servers:
+            raise PlacementError(
+                f"{n_copies} copies need {n_copies} distinct servers, "
+                f"only {self.n_servers} available"
+            )
+        chosen: list[int] = [self.assign_next()]
+        while len(chosen) < n_copies:
+            chosen.append(self.assign_excluding(set(chosen)))
+        return chosen
+
 
 class RoundRobin(PlacementPolicy):
     """Brick *i* goes to server ``i mod S`` (Fig. 3)."""
@@ -82,6 +107,14 @@ class RoundRobin(PlacementPolicy):
         server = self._next
         self._next = (self._next + 1) % self.n_servers
         return server
+
+    def assign_excluding(self, exclude: set[int]) -> int:
+        for _ in range(self.n_servers):
+            server = self._next
+            self._next = (self._next + 1) % self.n_servers
+            if server not in exclude:
+                return server
+        raise PlacementError("every server excluded")
 
 
 class Greedy(PlacementPolicy):
@@ -114,6 +147,25 @@ class Greedy(PlacementPolicy):
             if key < best_key:
                 best_key = key
                 best = k
+        self.accumulated[best] += self.performance[best]
+        return best
+
+    def assign_excluding(self, exclude: set[int]) -> int:
+        best = -1
+        best_key: tuple[float, float, int] | None = None
+        for k in range(self.n_servers):
+            if k in exclude:
+                continue
+            key = (
+                self.accumulated[k] + self.performance[k],
+                self.performance[k],
+                k,
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best = k
+        if best < 0:
+            raise PlacementError("every server excluded")
         self.accumulated[best] += self.performance[best]
         return best
 
@@ -158,3 +210,26 @@ def build_brick_map(
     for size in brick_sizes:
         bmap.append(policy.assign_next(), size)
     return bmap
+
+
+def build_replicated_maps(
+    policy: PlacementPolicy, brick_sizes: Sequence[int], replicas: int
+) -> tuple[BrickMap, ReplicaMap]:
+    """Place every brick ``replicas`` times on distinct servers.
+
+    The first copy of each brick goes into the primary :class:`BrickMap`
+    (identical to :func:`build_brick_map` when ``replicas == 1``); extra
+    copies go into a :class:`ReplicaMap`.  Greedy weights are charged
+    once per copy, so a 2× replicated file loads servers like a file
+    with twice the bricks.
+    """
+    if replicas < 1:
+        raise PlacementError(f"replicas must be >= 1, got {replicas}")
+    bmap = BrickMap(n_servers=policy.n_servers)
+    rmap = ReplicaMap.empty(policy.n_servers, list(brick_sizes))
+    for brick_id, size in enumerate(brick_sizes):
+        servers = policy.assign_replicas(replicas)
+        bmap.append(servers[0], size)
+        if len(servers) > 1:
+            rmap.append(brick_id, servers[1:], size)
+    return bmap, rmap

@@ -24,6 +24,8 @@ __all__ = [
     "InvalidHint",
     "StripingError",
     "PlacementError",
+    "ChecksumError",
+    "ReplicationError",
     # parallel dispatch
     "DispatchError",
     "DispatchTimeout",
@@ -107,6 +109,16 @@ class StripingError(DPFSError):
 
 class PlacementError(DPFSError):
     """Invalid arguments to a brick placement algorithm."""
+
+
+class ChecksumError(FileSystemError):
+    """A brick's payload failed end-to-end checksum verification and no
+    replica held a good copy to fail over to."""
+
+
+class ReplicationError(FileSystemError):
+    """Replica configuration or layout violation (replicas > servers,
+    two copies of a brick on one server, ...)."""
 
 
 # ---------------------------------------------------------------------------

@@ -556,8 +556,13 @@ class Database:
             return
         if self._in_txn:
             raise TransactionError("checkpoint inside a transaction")
+        assert self._wal is not None
         snapshot = {
             "format": 1,
+            # the id this snapshot covers: if the crash lands between the
+            # snapshot rename below and the WAL truncation, recovery must
+            # not re-apply the (stale) records at or below it
+            "last_txn": self._wal.last_txn,
             "tables": [table.to_dict() for table in self.tables.values()],
         }
         target = self._snapshot_path()
@@ -574,21 +579,33 @@ class Database:
             if os.path.exists(tmp_name):
                 os.unlink(tmp_name)
             raise
-        assert self._wal is not None
         self._wal.truncate()
         self._wal.open_for_append()
 
     def _recover(self) -> None:
-        """Load snapshot, then replay committed WAL transactions."""
+        """Load snapshot, then replay committed WAL transactions.
+
+        Only transactions the snapshot does not already cover are
+        replayed — a crash between the snapshot rewrite and the WAL
+        truncation in :meth:`checkpoint` leaves a stale log behind, and
+        re-applying it would resurrect deleted rows.  Snapshots written
+        before ``last_txn`` existed cover nothing (id 0).
+        """
+        assert self._wal is not None
+        last_txn = 0
         snap = self._snapshot_path()
         if snap.exists():
             data = json.loads(snap.read_text(encoding="utf-8"))
+            last_txn = int(data.get("last_txn", 0))
             for table_data in data["tables"]:
                 table = Table.from_dict(table_data)
                 self.tables[table.name] = table
-        assert self._wal is not None
-        for ops in self._wal.replay():
-            self._apply_redo(ops)
+        for txn, ops in self._wal.replay():
+            if txn > last_txn:
+                self._apply_redo(ops)
+        # ids stay monotone even when the log is empty, so the next
+        # append can never collide with what the snapshot covers
+        self._wal.advance_txn_counter(last_txn)
         self._wal.open_for_append()
 
     def _apply_redo(self, ops: list[RedoOp]) -> None:

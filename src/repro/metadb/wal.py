@@ -8,6 +8,12 @@ On open, the engine loads the last snapshot and replays the WAL; a torn
 final line (crash mid-append) is detected and discarded.  ``checkpoint``
 rewrites the snapshot and truncates the log.
 
+Transaction ids are monotone across the life of the database and the
+snapshot records the id it covers (``last_txn``), so a crash *between*
+the snapshot rewrite and the log truncation is safe: recovery replays
+only records with ids beyond the snapshot and the stale prefix is
+ignored instead of re-applied.
+
 Redo records are physical: (op, table, rowid, payload), so replay is a
 mechanical re-application with no SQL re-execution.
 """
@@ -58,12 +64,22 @@ class WriteAheadLog:
             self._fh.close()
             self._fh = None
 
+    @property
+    def last_txn(self) -> int:
+        """Id of the most recent transaction appended or replayed."""
+        return self._txn_counter
+
+    def advance_txn_counter(self, txn: int) -> None:
+        """Never reuse ids at or below ``txn`` (snapshot coverage)."""
+        self._txn_counter = max(self._txn_counter, txn)
+
     # -- recovery -------------------------------------------------------------
-    def replay(self) -> list[list[RedoOp]]:
-        """Read all complete transactions; drop a torn trailing line."""
+    def replay(self) -> list[tuple[int, list[RedoOp]]]:
+        """All complete transactions as ``(txn_id, ops)``; drops a torn
+        trailing line."""
         if not self.path.exists():
             return []
-        transactions: list[list[RedoOp]] = []
+        transactions: list[tuple[int, list[RedoOp]]] = []
         raw = self.path.read_text(encoding="utf-8")
         lines = raw.split("\n")
         for lineno, line in enumerate(lines):
@@ -81,8 +97,9 @@ class WriteAheadLog:
                     f"corrupt WAL record at line {lineno + 1} of {self.path}"
                 ) from None
             ops = [tuple(op) for op in record["ops"]]
-            transactions.append(ops)  # type: ignore[arg-type]
-            self._txn_counter = max(self._txn_counter, int(record["txn"]))
+            txn = int(record["txn"])
+            transactions.append((txn, ops))  # type: ignore[arg-type]
+            self._txn_counter = max(self._txn_counter, txn)
         return transactions
 
     def truncate(self) -> None:

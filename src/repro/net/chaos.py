@@ -14,6 +14,7 @@ scheduling API mirrors :class:`repro.backends.faulty.FaultyBackend`
     proxy.drop_next(times=2)          # refuse the next two connections
     proxy.delay_messages(0.2, times=1)  # hold the next reply 200 ms
     proxy.truncate_next()             # cut the next reply mid-frame
+    proxy.corrupt_next()              # flip a payload byte in the next frame
     proxy.sever_after(3)              # kill one connection after 3 msgs
     proxy.sever_all()                 # kill every live connection now
     proxy.retarget(new_address)       # upstream restarted elsewhere
@@ -61,7 +62,7 @@ def _read_exact(sock: socket.socket, nbytes: int) -> bytes | None:
 class _Rule:
     """One scheduled misbehavior (mirrors ``faulty._Rule``)."""
 
-    kind: str                       # drop | delay | truncate | sever
+    kind: str                       # drop | delay | truncate | corrupt | sever
     times: int | None = None        # None = forever
     delay_s: float = 0.0
     after_messages: int = 0
@@ -130,9 +131,15 @@ class _Pipe:
             body = _read_exact(src, header_len + payload_len)
             if body is None:
                 break
-            delay_s, verdict = self.proxy._on_message(self, direction)
+            delay_s, verdict = self.proxy._on_message(self, direction, payload_len)
             if delay_s:
                 time.sleep(delay_s)
+            if verdict == "corrupt":
+                # flip one bit mid-payload: the frame still parses, the
+                # receiver's wire checksum is what must catch it
+                mutated = bytearray(body)
+                mutated[header_len + payload_len // 2] ^= 0x01
+                body = bytes(mutated)
             if verdict == "truncate":
                 # forward the prefix plus half the body, then cut: the
                 # receiver is left waiting mid-frame until the close
@@ -229,6 +236,12 @@ class ChaosProxy:
         with self._rules_lock:
             self._rules.append(_Rule("truncate", times, direction=direction))
 
+    def corrupt_next(self, times: int = 1, *, direction: str | None = "s2c") -> None:
+        """Flip one payload byte in each of the next ``times`` frames
+        that carry a payload (header-only frames pass untouched)."""
+        with self._rules_lock:
+            self._rules.append(_Rule("corrupt", times, direction=direction))
+
     def sever_after(self, n_messages: int, times: int = 1) -> None:
         """Kill a connection once it has relayed ``n_messages`` frames
         (``times`` counts affected connections)."""
@@ -265,7 +278,9 @@ class ChaosProxy:
                     return True
         return False
 
-    def _on_message(self, pipe: _Pipe, direction: str) -> tuple[float, str]:
+    def _on_message(
+        self, pipe: _Pipe, direction: str, payload_len: int = 0
+    ) -> tuple[float, str]:
         """(delay_s, verdict) for one relayed frame; counts the frame."""
         delay_s = 0.0
         verdict = "pass"
@@ -276,6 +291,11 @@ class ChaosProxy:
                     rule.fired += 1
                     self.faults_fired["delay"] += 1
                     delay_s += rule.delay_s
+            for rule in self._rules:
+                if payload_len and rule.matches("corrupt", direction):
+                    rule.fired += 1
+                    self.faults_fired["corrupt"] += 1
+                    return delay_s, "corrupt"
             for rule in self._rules:
                 if rule.matches("truncate", direction):
                     rule.fired += 1

@@ -637,3 +637,9 @@ class RemoteBackend(StorageBackend):
         self._check_server(server)
         self._check_payload(extents, data)
         self.connections[server].write(name, extents, data)
+
+    def server_health(self, server: int) -> int:
+        """Pool health (2=UP, 1=DEGRADED, 0=DOWN) — replicated reads use
+        this to route around a server the pool already knows is dead."""
+        self._check_server(server)
+        return self.connections[server].health.value

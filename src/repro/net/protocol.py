@@ -26,6 +26,15 @@ Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": ...,
 "kind": ...}``; errors re-raise client-side as the matching DPFS
 exception type.
 
+Messages with a payload carry a ``crc`` header field — the payload's
+checksum, computed with the algorithm named by ``crc_algo`` (defaults
+to the sender's :data:`repro.core.checksum.CRC_ALGORITHM`).
+``recv_message`` verifies it and raises :class:`ProtocolError` on a
+mismatch, so a flipped bit anywhere between the two ends surfaces as a
+transport error (and a dispatcher retry) instead of silent corruption.
+A receiver that does not know the named algorithm skips verification
+rather than rejecting good data.
+
 Any request may carry a ``rid`` field — the client-side trace's request
 id.  Servers record it with their per-request span log (returned by the
 ``stats`` op) and echo it in the reply, so one id correlates the client
@@ -39,6 +48,7 @@ import socket
 import struct
 from typing import Any
 
+from ..core.checksum import CRC_ALGORITHM, checksum, checksum_fn
 from ..errors import ProtocolError
 
 __all__ = [
@@ -64,12 +74,17 @@ OPS = frozenset(
 
 
 def send_message(sock: socket.socket, header: dict[str, Any], payload: bytes = b"") -> None:
-    """Send one framed message."""
+    """Send one framed message (payloads are checksummed end-to-end)."""
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload too large: {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte wire limit; split the request"
+        )
+    if payload:
+        header = dict(header, crc=checksum(payload), crc_algo=CRC_ALGORITHM)
     raw_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
     if len(raw_header) > MAX_HEADER:
         raise ProtocolError(f"header too large: {len(raw_header)} bytes")
-    if len(payload) > MAX_PAYLOAD:
-        raise ProtocolError(f"payload too large: {len(payload)} bytes")
     sock.sendall(_PREFIX.pack(len(raw_header), len(payload)) + raw_header + payload)
 
 
@@ -104,4 +119,20 @@ def recv_message(sock: socket.socket) -> tuple[dict[str, Any], bytes]:
     if not isinstance(header, dict):
         raise ProtocolError("message header must be a JSON object")
     payload = _recv_exact(sock, payload_len) if payload_len else b""
+    if payload and "crc" in header:
+        _verify_payload(header, payload)
     return header, payload
+
+
+def _verify_payload(header: dict[str, Any], payload: bytes) -> None:
+    """Check the payload against the header's ``crc`` field."""
+    try:
+        crc = checksum_fn(str(header.get("crc_algo", CRC_ALGORITHM)))
+    except KeyError:
+        return  # peer used an algorithm we don't know; don't reject good data
+    actual = crc(payload, 0)
+    if actual != header["crc"]:
+        raise ProtocolError(
+            f"payload checksum mismatch: header says {header['crc']}, "
+            f"payload hashes to {actual} — corrupted in transit"
+        )

@@ -86,6 +86,7 @@ def test_schema_created(meta):
         "dpfs_directory",
         "dpfs_file_attr",
         "dpfs_file_distribution",
+        "dpfs_file_replica",
         "dpfs_server",
     ]
 

@@ -98,6 +98,107 @@ def test_torn_wal_tail_discarded(tmp_path):
     db2.close()
 
 
+def test_checkpoint_race_stale_wal_not_replayed(tmp_path):
+    """Crash between the snapshot rewrite and the WAL truncation in
+    checkpoint(): recovery sees a fresh snapshot *and* the full stale
+    log.  Replaying the stale records would resurrect the table's
+    creation-time (empty) image; the snapshot's last_txn must filter
+    them out."""
+    path = tmp_path / "meta.db"
+    wal = tmp_path / "meta.db.wal"
+    db = Database(path)
+    db.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v INTEGER)")
+    db.execute("INSERT INTO t VALUES ('a', 1)")
+    db.execute("UPDATE t SET v = 2 WHERE k = 'a'")
+    stale = wal.read_bytes()
+    db.checkpoint()
+    db.close()
+    wal.write_bytes(stale)  # the truncation "never happened"
+
+    db2 = reopen(path)
+    assert db2.execute("SELECT v FROM t WHERE k = 'a'").scalar() == 2
+    db2.close()
+
+
+def test_checkpoint_race_does_not_resurrect_deleted_rows(tmp_path):
+    path = tmp_path / "meta.db"
+    wal = tmp_path / "meta.db.wal"
+    db = Database(path)
+    db.execute("CREATE TABLE t (k TEXT PRIMARY KEY)")
+    db.execute("INSERT INTO t VALUES ('doomed')")
+    db.execute("DELETE FROM t WHERE k = 'doomed'")
+    stale = wal.read_bytes()
+    db.checkpoint()
+    db.close()
+    wal.write_bytes(stale)
+
+    db2 = reopen(path)
+    assert db2.execute("SELECT COUNT(*) FROM t").scalar() == 0
+    db2.close()
+
+
+def test_checkpoint_race_with_torn_tail(tmp_path):
+    """The stale log may itself end in a torn line (crash mid-append
+    racing the checkpoint); both defenses must compose."""
+    path = tmp_path / "meta.db"
+    wal = tmp_path / "meta.db.wal"
+    db = Database(path)
+    db.execute("CREATE TABLE t (k TEXT PRIMARY KEY)")
+    db.execute("INSERT INTO t VALUES ('kept')")
+    stale = wal.read_bytes()
+    db.checkpoint()
+    db.close()
+    wal.write_bytes(stale + b'{"txn": 99, "ops": [["insert", "t", 7,')
+
+    db2 = reopen(path)
+    assert db2.execute("SELECT k FROM t").rows == [{"k": "kept"}]
+    db2.close()
+
+
+def test_txn_ids_stay_monotone_after_checkpoint_crash(tmp_path):
+    """Recovery must advance the txn counter past the snapshot's
+    last_txn even when the stale log is filtered out — otherwise new
+    appends reuse covered ids and the *next* recovery drops them."""
+    path = tmp_path / "meta.db"
+    wal = tmp_path / "meta.db.wal"
+    db = Database(path)
+    db.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v INTEGER)")
+    db.execute("INSERT INTO t VALUES ('a', 1)")
+    stale = wal.read_bytes()
+    db.checkpoint()
+    db.close()
+    wal.write_bytes(stale)
+
+    db2 = reopen(path)
+    db2.execute("INSERT INTO t VALUES ('b', 2)")
+    db2.close()
+
+    db3 = reopen(path)
+    rows = db3.execute("SELECT k, v FROM t ORDER BY k").rows
+    assert rows == [{"k": "a", "v": 1}, {"k": "b", "v": 2}]
+    db3.close()
+
+
+def test_snapshot_without_last_txn_still_loads(tmp_path):
+    """Snapshots written before last_txn existed default to covering
+    nothing — the whole WAL replays, matching the old behavior."""
+    path = tmp_path / "meta.db"
+    db = Database(path)
+    db.execute("CREATE TABLE t (k TEXT PRIMARY KEY)")
+    db.checkpoint()
+    db.execute("INSERT INTO t VALUES ('after')")
+    db.close()
+
+    snap = tmp_path / "meta.db.snapshot.json"
+    data = json.loads(snap.read_text())
+    del data["last_txn"]
+    snap.write_text(json.dumps(data))
+
+    db2 = reopen(path)
+    assert db2.execute("SELECT k FROM t").rows == [{"k": "after"}]
+    db2.close()
+
+
 def test_reopen_after_checkpoint_then_more_writes(tmp_path):
     path = tmp_path / "meta.db"
     db = Database(path)

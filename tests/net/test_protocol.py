@@ -94,3 +94,52 @@ def test_send_oversized_header_rejected(pair):
     a, _b = pair
     with pytest.raises(ProtocolError):
         send_message(a, {"x": "y" * (MAX_HEADER + 1)})
+
+
+def test_send_oversized_payload_rejected(pair, monkeypatch):
+    import repro.net.protocol as protocol
+
+    monkeypatch.setattr(protocol, "MAX_PAYLOAD", 1024)
+    a, _b = pair
+    with pytest.raises(ProtocolError, match="payload too large"):
+        send_message(a, {"op": "write"}, b"x" * 2048)
+
+
+def test_oversized_declared_payload_rejected(pair):
+    from repro.net.protocol import MAX_PAYLOAD
+
+    a, b = pair
+    a.sendall(struct.pack("!II", 2, MAX_PAYLOAD + 1))
+    with pytest.raises(ProtocolError):
+        recv_message(b)
+
+
+def test_payload_crc_attached_and_verified(pair):
+    a, b = pair
+    send_message(a, {"op": "write"}, b"hello")
+    header, payload = recv_message(b)
+    assert "crc" in header and "crc_algo" in header
+    assert payload == b"hello"
+
+
+def test_payload_crc_mismatch_rejected(pair):
+    a, b = pair
+    raw = b'{"op":"read","crc":1,"crc_algo":"crc32"}'
+    a.sendall(struct.pack("!II", len(raw), 5) + raw + b"hello")
+    with pytest.raises(ProtocolError, match="checksum"):
+        recv_message(b)
+
+
+def test_unknown_crc_algo_skips_verification(pair):
+    a, b = pair
+    raw = b'{"op":"read","crc":1,"crc_algo":"sha999"}'
+    a.sendall(struct.pack("!II", len(raw), 5) + raw + b"hello")
+    _header, payload = recv_message(b)
+    assert payload == b"hello"
+
+
+def test_header_only_frames_carry_no_crc(pair):
+    a, b = pair
+    send_message(a, {"op": "ping"})
+    header, _ = recv_message(b)
+    assert "crc" not in header

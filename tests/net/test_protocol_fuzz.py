@@ -5,14 +5,16 @@ arbitrary garbage bytes never hang the receiver — they either parse or
 raise :class:`ProtocolError` promptly.
 """
 
+import json
 import socket
 import struct
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ProtocolError
-from repro.net.protocol import recv_message, send_message
+from repro.net.protocol import MAX_HEADER, MAX_PAYLOAD, recv_message, send_message
 
 json_scalars = st.one_of(
     st.none(),
@@ -32,6 +34,10 @@ json_values = st.recursive(
 headers = st.dictionaries(st.text(min_size=1, max_size=32), json_values, max_size=8)
 
 
+def _without_crc(header):
+    return {k: v for k, v in header.items() if k not in ("crc", "crc_algo")}
+
+
 @given(headers, st.binary(max_size=4096))
 @settings(max_examples=75, deadline=None)
 def test_roundtrip_arbitrary_header_and_payload(header, payload):
@@ -39,8 +45,34 @@ def test_roundtrip_arbitrary_header_and_payload(header, payload):
     try:
         send_message(a, header, payload)
         got_header, got_payload = recv_message(b)
-        assert got_header == header
+        # the wire adds (and verifies) crc/crc_algo on any payload-carrying
+        # frame; everything the caller put in the header survives untouched
+        assert _without_crc(got_header) == _without_crc(header)
+        if payload:
+            assert "crc" in got_header
         assert got_payload == payload
+    finally:
+        a.close()
+        b.close()
+
+
+@given(st.binary(min_size=1, max_size=4096), st.integers(min_value=0))
+@settings(max_examples=75, deadline=None)
+def test_corrupt_payload_byte_always_detected(payload, seed):
+    """Flipping any single payload bit must raise ProtocolError."""
+    pos = seed % len(payload)
+    bit = 1 << (seed % 8)
+    a, b = socket.socketpair()
+    try:
+        send_message(a, {"op": "read"}, payload)
+        # re-frame with one bit flipped, keeping the original header
+        frame_header, _ = recv_message(b)
+        mutated = bytearray(payload)
+        mutated[pos] ^= bit
+        raw = json.dumps(frame_header).encode()
+        a.sendall(struct.pack("!II", len(raw), len(mutated)) + raw + mutated)
+        with pytest.raises(ProtocolError):
+            recv_message(b)
     finally:
         a.close()
         b.close()
@@ -68,6 +100,45 @@ def test_garbage_never_hangs(blob):
         else:
             assert isinstance(header, dict)
             assert len(payload) == payload_len
+    finally:
+        b.close()
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=75, deadline=None)
+def test_garbage_prefix_lengths_rejected_before_allocation(header_len, payload_len):
+    """A prefix declaring absurd lengths must raise promptly from the
+    prefix alone — no body is ever sent, so passing proves the receiver
+    neither waited for it nor tried to allocate it."""
+    if header_len <= MAX_HEADER and payload_len <= MAX_PAYLOAD:
+        return
+    a, b = socket.socketpair()
+    try:
+        b.settimeout(5.0)
+        a.sendall(struct.pack("!II", header_len, payload_len))
+        with pytest.raises(ProtocolError):
+            recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+@given(headers, st.binary(min_size=2, max_size=4096), st.integers(min_value=0))
+@settings(max_examples=50, deadline=None)
+def test_truncated_frame_raises(header, payload, seed):
+    """A frame cut anywhere mid-body (then closed) raises ProtocolError."""
+    raw = json.dumps(header).encode()
+    frame = struct.pack("!II", len(raw), len(payload)) + raw + payload
+    cut = 8 + seed % (len(frame) - 8 - 1)  # keep the full prefix, lose body
+    a, b = socket.socketpair()
+    try:
+        a.sendall(frame[:cut])
+        a.close()
+        with pytest.raises(ProtocolError):
+            recv_message(b)
     finally:
         b.close()
 

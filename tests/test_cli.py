@@ -105,3 +105,65 @@ def test_fsck_subcommand(tmp_path, capsys):
     capsys.readouterr()
     assert main(["fsck", "--root", str(root), "--repair"]) == 0
     assert main(["fsck", "--root", str(root)]) == 0
+
+
+def _make_replicated(root, data):
+    from repro.core import DPFS, Hint
+
+    fs = DPFS.local(root, n_servers=4)
+    fs.write_file(
+        "/f", data, Hint.linear(file_size=len(data), brick_size=4096, replicas=2)
+    )
+    fs.close()
+
+
+def test_scrub_subcommand(tmp_path, capsys):
+    from repro.backends.local import escape_subfile_name
+
+    root = tmp_path / "dpfs"
+    data = bytes(range(256)) * 64  # 4 bricks
+    _make_replicated(root, data)
+    assert main(["scrub", "--root", str(root)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+    # garble one whole replica subfile: findings remain -> nonzero;
+    # --repair rewrites every bad copy from the primaries -> zero
+    rname = escape_subfile_name("/f//r")
+    victim = next(
+        p
+        for i in range(4)
+        for p in [(root / f"server_{i}" / rname)]
+        if p.exists() and p.stat().st_size > 0
+    )
+    victim.write_bytes(b"\xaa" * victim.stat().st_size)
+    assert main(["scrub", "--root", str(root)]) == 1
+    capsys.readouterr()
+    assert main(["scrub", "--root", str(root), "--repair"]) == 0
+    assert "checksum-mismatch" in capsys.readouterr().out
+    assert main(["scrub", "--root", str(root)]) == 0
+    assert main(["fsck", "--root", str(root)]) == 0
+
+
+def test_fsck_repair_exits_nonzero_when_findings_remain(tmp_path, capsys):
+    from repro.metadb import Database
+
+    root = tmp_path / "dpfs"
+    data = bytes(range(256)) * 64
+    _make_replicated(root, data)
+    # break the brick map beyond repair: drop one distribution row
+    db = Database(root / "dpfs.meta")
+    name = db.execute(
+        "SELECT server_name FROM dpfs_file_distribution "
+        "WHERE filename = '/f' LIMIT 1"
+    ).scalar()
+    db.execute(
+        "DELETE FROM dpfs_file_distribution WHERE filename = '/f' "
+        "AND server_name = ?",
+        [name],
+    )
+    db.close()
+    assert main(["fsck", "--root", str(root)]) == 1
+    capsys.readouterr()
+    # --repair cannot fix a bad brick map; the exit code must say so
+    assert main(["fsck", "--root", str(root), "--repair"]) == 1
+    assert "bad-brick-map" in capsys.readouterr().out
