@@ -3,8 +3,9 @@
 ``dpfs shell --root DIR``          interactive shell on a local-directory DPFS
 ``dpfs server --root DIR --port P`` run one storage server (§2)
 ``dpfs bench fig11|fig12|fig13|fig14|all``  regenerate the §8 figures
-``dpfs fsck --root DIR [--repair]`` check metadata/storage consistency
-``dpfs scrub --root DIR [--repair]`` checksum-verify every brick copy
+``dpfs fsck --root DIR [--repair] [--json]`` check metadata/storage consistency
+``dpfs scrub --root DIR [--repair] [--json]`` checksum-verify every brick copy
+``dpfs recover --root DIR [--json]`` finish operations a crashed client left
 ``dpfs stats``                      Prometheus metrics after a demo roundtrip
 ``dpfs trace``                      span trees + server-side span log
 
@@ -65,6 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
     fsck_p.add_argument(
         "--repair", action="store_true", help="fix what can be fixed"
     )
+    fsck_p.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
 
     scrub_p = sub.add_parser(
         "scrub", help="checksum-verify every brick copy; repair from replicas"
@@ -75,6 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--repair",
         action="store_true",
         help="rewrite bad copies from good ones and refresh stale checksums",
+    )
+    scrub_p.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+
+    recover_p = sub.add_parser(
+        "recover",
+        help="roll forward/back multi-step operations a crashed client "
+        "left in the intent journal",
+    )
+    recover_p.add_argument("--root", required=True, help="DPFS root directory")
+    recover_p.add_argument("--servers", type=int, default=4)
+    recover_p.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
     )
 
     for name, help_text in (
@@ -197,12 +215,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
+    import json
+
     from .core import fsck
     from .core.filesystem import DPFS
 
-    fs = DPFS.local(args.root, n_servers=args.servers)
+    # auto_recover stays off: a checker that silently recovered on mount
+    # would report a clean tree without ever showing what was wrong
+    fs = DPFS.local(args.root, n_servers=args.servers, auto_recover=False)
     report = fsck(fs, repair=args.repair)
-    print(report)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "tool": "fsck",
+                    "clean": report.clean,
+                    "files_checked": report.files_checked,
+                    "directories_checked": report.directories_checked,
+                    "findings": [
+                        {
+                            "kind": f.kind,
+                            "path": f.path,
+                            "detail": f.detail,
+                            "repaired": f.repaired,
+                        }
+                        for f in report.findings
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(report)
     fs.close()
     # nonzero whenever findings remain after this run: a --repair pass
     # that could not fix everything must not report success
@@ -210,14 +254,79 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
 
 
 def _cmd_scrub(args: argparse.Namespace) -> int:
+    import json
+
     from .core import scrub
     from .core.filesystem import DPFS
 
-    fs = DPFS.local(args.root, n_servers=args.servers)
+    fs = DPFS.local(args.root, n_servers=args.servers, auto_recover=False)
     report = scrub(fs, repair=args.repair)
-    print(report)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "tool": "scrub",
+                    "clean": report.clean,
+                    "files_checked": report.files_checked,
+                    "bricks_checked": report.bricks_checked,
+                    "copies_checked": report.copies_checked,
+                    "checksums_backfilled": report.checksums_backfilled,
+                    "findings": [
+                        {
+                            "kind": f.kind,
+                            "path": f.path,
+                            "brick_id": f.brick_id,
+                            "server": f.server,
+                            "detail": f.detail,
+                            "repaired": f.repaired,
+                        }
+                        for f in report.findings
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(report)
     fs.close()
     return 0 if not report.unrepaired else 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.filesystem import DPFS
+
+    fs = DPFS.local(args.root, n_servers=args.servers, auto_recover=False)
+    report = fs.recover()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "tool": "recover",
+                    "clean": report.clean,
+                    "pending": len(report.actions),
+                    "recovered": len(report.recovered),
+                    "stuck": len(report.stuck),
+                    "actions": [
+                        {
+                            "intent_id": a.intent_id,
+                            "op": a.op,
+                            "path": a.path,
+                            "direction": a.direction,
+                            "ok": a.ok,
+                            "detail": a.detail,
+                        }
+                        for a in report.actions
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(report)
+    fs.close()
+    return 0 if report.clean else 1
 
 
 def _obs_session(args: argparse.Namespace, *, tracing: bool):
@@ -341,6 +450,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_fsck(args)
     if args.command == "scrub":
         return _cmd_scrub(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "trace":

@@ -12,6 +12,10 @@ from .brick import (
 from .cache import BrickCache, CacheStats
 from .checksum import CRC_ALGORITHM, checksum, checksum_fn
 from .combine import ServerRequest, SlicePlacement, plan_requests
+from .crashpoints import SimulatedCrash, armed, crashpoint
+from .crashpoints import arm as arm_crashpoint
+from .crashpoints import disarm as disarm_crashpoint
+from .crashpoints import registered as registered_crashpoints
 from .dispatch import (
     Dispatcher,
     DispatcherStats,
@@ -22,6 +26,7 @@ from .dispatch import (
 from .filesystem import DPFS
 from .fsck import Finding, FsckReport, fsck
 from .handle import FileHandle, IOStats
+from .intent import Intent, IntentLog, RecoveryAction, RecoveryReport, recover
 from .hints import DEFAULT_BRICK_SIZE, Hint
 from .metadata import FileRecord, MetadataManager, normalize_path, split_path
 from .placement import (
@@ -51,6 +56,17 @@ __all__ = [
     "ScrubFinding",
     "ScrubReport",
     "verify_file_copies",
+    "Intent",
+    "IntentLog",
+    "RecoveryAction",
+    "RecoveryReport",
+    "recover",
+    "SimulatedCrash",
+    "crashpoint",
+    "armed",
+    "arm_crashpoint",
+    "disarm_crashpoint",
+    "registered_crashpoints",
     "CRC_ALGORITHM",
     "checksum",
     "checksum_fn",

@@ -1,0 +1,169 @@
+"""Deterministic crash-point injection for crash-consistency testing.
+
+Multi-step operations (:mod:`repro.core.intent`) call
+:func:`crashpoint` at every step boundary::
+
+    crashpoint("filesystem.rename.after_metadata")
+
+In a real run the call is a no-op costing one global read.  Tests arm a
+named point with :func:`arm`; the next time execution reaches it the
+process "crashes" — either by raising :class:`SimulatedCrash` (which,
+being a :class:`BaseException`, sails through every ``except Exception``
+recovery path exactly like a genuine ``kill -9`` would skip them) or,
+in ``mode="exit"``, by calling :func:`os._exit` so no ``finally`` block
+and no atexit hook runs at all.  A point fires **once** and disarms
+itself, so the recovery sweep that follows can safely re-execute the
+same code path.
+
+Subprocess crash tests arm through the environment instead of the API:
+``DPFS_CRASHPOINT=<name>`` (and optionally
+``DPFS_CRASHPOINT_MODE=exit``) arms the point at import time, which is
+how the kill-9 acceptance test murders a real client mid-operation.
+
+Every point must be declared with :func:`register` (done next to the
+code that calls it) so the systematic crash sweep can enumerate
+*every* registered point and prove recovery from each one.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+__all__ = [
+    "SimulatedCrash",
+    "crashpoint",
+    "register",
+    "registered",
+    "arm",
+    "disarm",
+    "armed_name",
+    "armed",
+]
+
+#: exit status used by ``mode="exit"`` so a parent process can tell a
+#: simulated crash apart from any ordinary failure
+CRASH_EXIT_CODE = 86
+
+
+class SimulatedCrash(BaseException):
+    """An armed crash point fired.
+
+    Deliberately *not* a :class:`repro.errors.DPFSError` — and not even
+    an :class:`Exception` — so no error-handling or cleanup code in the
+    library can absorb it: the operation dies mid-flight, exactly like
+    the process it models.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"simulated crash at {name!r}")
+        self.name = name
+
+
+#: every declared crash point (populated by :func:`register` at import
+#: time of the modules that call :func:`crashpoint`)
+_REGISTRY: set[str] = set()
+
+_lock = threading.Lock()
+
+
+class _Armed:
+    """One armed point; fires at most once."""
+
+    __slots__ = ("name", "mode", "fired")
+
+    def __init__(self, name: str, mode: str) -> None:
+        self.name = name
+        self.mode = mode
+        self.fired = False
+
+
+_armed: _Armed | None = None
+
+
+def register(name: str) -> str:
+    """Declare a crash point; returns the name for use as a constant."""
+    _REGISTRY.add(name)
+    return name
+
+
+def registered(prefix: str = "") -> list[str]:
+    """All declared crash points (optionally filtered by name prefix)."""
+    return sorted(n for n in _REGISTRY if n.startswith(prefix))
+
+
+def arm(name: str, *, mode: str = "raise", _validate: bool = True) -> None:
+    """Arm one crash point; the next :func:`crashpoint(name)` fires it.
+
+    ``mode="raise"`` raises :class:`SimulatedCrash`; ``mode="exit"``
+    terminates the process with ``os._exit(CRASH_EXIT_CODE)``.
+    """
+    global _armed
+    if mode not in ("raise", "exit"):
+        raise ValueError(f"unknown crash mode {mode!r}")
+    if _validate and name not in _REGISTRY:
+        raise KeyError(
+            f"unknown crash point {name!r}; registered points: "
+            f"{registered()}"
+        )
+    with _lock:
+        _armed = _Armed(name, mode)
+
+
+def disarm() -> None:
+    """Disarm whatever is armed (idempotent)."""
+    global _armed
+    with _lock:
+        _armed = None
+
+
+def armed_name() -> str | None:
+    """Name of the currently armed point, if any."""
+    a = _armed
+    return a.name if a is not None else None
+
+
+@contextmanager
+def armed(name: str, *, mode: str = "raise") -> Iterator[None]:
+    """``with armed("..."):`` — arm on entry, disarm on exit."""
+    arm(name, mode=mode)
+    try:
+        yield
+    finally:
+        disarm()
+
+
+def crashpoint(name: str) -> None:
+    """Crash here if ``name`` is armed; otherwise do nothing.
+
+    The disarmed path is a single global load and ``is None`` test so
+    production code can call this on every step boundary for free.
+    """
+    a = _armed
+    if a is None or a.name != name:
+        return
+    _fire(a)
+
+
+def _fire(a: _Armed) -> None:
+    global _armed
+    with _lock:
+        if a.fired:        # lost the race: another thread already fired
+            return
+        a.fired = True
+        _armed = None
+    if a.mode == "exit":
+        os._exit(CRASH_EXIT_CODE)  # no cleanup, no flush: a real crash
+    raise SimulatedCrash(a.name)
+
+
+# -- environment arming (subprocess crash tests) ----------------------------
+_env_point = os.environ.get("DPFS_CRASHPOINT")
+if _env_point:  # pragma: no cover - exercised via subprocess tests
+    arm(
+        _env_point,
+        mode=os.environ.get("DPFS_CRASHPOINT_MODE", "raise"),
+        _validate=False,  # registration happens after interpreter start
+    )

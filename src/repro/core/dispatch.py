@@ -307,6 +307,7 @@ class Dispatcher:
         *,
         server_of: Callable[[T], int] | None = None,
         on_result: Callable[[T, DispatchResult], None] | None = None,
+        collect_errors: bool = False,
     ) -> list[Any]:
         """Execute ``fn(item)`` for every item; return values in item order.
 
@@ -314,6 +315,16 @@ class Dispatcher:
         messages and stats); it defaults to ``item.server``.
         ``on_result`` is invoked once per *successful* request — from
         the worker thread that ran it — as soon as it completes.
+
+        ``collect_errors=True`` changes failure semantics: instead of
+        raising the first permanent error (leaving sibling requests'
+        outcomes unknown to the caller), every request runs to
+        completion and a failed slot holds its exception *instance* in
+        the returned list.  Callers use this for all-servers mutations
+        (remove/rename fan-out) that must never stop half-way, then
+        aggregate the failures themselves.  Only :class:`Exception`
+        subclasses are collected — a :class:`BaseException` (simulated
+        crash, KeyboardInterrupt) still propagates immediately.
         """
         if not items:
             return []
@@ -334,10 +345,22 @@ class Dispatcher:
             with span("dispatch.batch", requests=len(items), mode="inline"):
                 parent = current_span()
                 now = time.perf_counter
-                return [
-                    self._attempt(item, fn, server_of(item), on_result, now(), parent)
-                    for item in items
-                ]
+                if not collect_errors:
+                    return [
+                        self._attempt(item, fn, server_of(item), on_result, now(), parent)
+                        for item in items
+                    ]
+                collected: list[Any] = []
+                for item in items:
+                    try:
+                        collected.append(
+                            self._attempt(
+                                item, fn, server_of(item), on_result, now(), parent
+                            )
+                        )
+                    except Exception as exc:  # noqa: BLE001 - returned to caller
+                        collected.append(exc)
+                return collected
 
         with span("dispatch.batch", requests=len(items), mode="pool"):
             parent = current_span()
@@ -377,7 +400,9 @@ class Dispatcher:
                         f"from submission)"
                     ) from None
                 except Exception as exc:  # noqa: BLE001 - re-raised below
-                    if first_error is None:
+                    if collect_errors:
+                        results[i] = exc
+                    elif first_error is None:
                         first_error = exc
             if first_error is not None:
                 raise first_error

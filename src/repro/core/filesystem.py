@@ -21,18 +21,25 @@ from ..backends.base import StorageBackend
 from ..backends.local import LocalBackend
 from ..backends.memory import MemoryBackend
 from ..errors import (
+    DPFSError,
+    FileExists,
+    FileNotFound,
     FileSystemError,
     InvalidHint,
+    MultiServerError,
     PermissionDenied,
 )
 from ..metadb import Database
 from ..obs import MetricsRegistry, Tracer
 from .brick import BrickMap, ReplicaMap, replica_subfile
 from .cache import BrickCache
+from .crashpoints import crashpoint, register
 from .dispatch import Dispatcher, DispatchPolicy
 from .handle import FileHandle
 from .hints import Hint
-from .metadata import FileRecord, MetadataManager, normalize_path
+from .intent import IntentLog, RecoveryReport
+from .intent import recover as _recover_intents
+from .metadata import FileRecord, MetadataManager, normalize_path, split_path
 from .placement import Greedy, PlacementPolicy, RoundRobin, make_policy
 from .striping import FileLevel, LinearStriping
 
@@ -40,6 +47,31 @@ __all__ = ["DPFS"]
 
 #: default permission bits for new files (the paper's example uses 744)
 DEFAULT_PERMISSION = 0o744
+
+# -- crash points ------------------------------------------------------------
+# One per step boundary of every journalled multi-step operation; the
+# systematic crash sweep (tests/core/test_crash_sweep.py) arms each of
+# these in turn and proves recovery restores an fsck/scrub-clean
+# namespace.  The ``mid_subfiles``/``mid_copy`` points sit *inside* the
+# per-server fan-out, after one server's work, so they model a crash
+# with the mutation half-applied across the cluster.
+CP_CREATE_AFTER_INTENT = register("filesystem.create.after_intent")
+CP_CREATE_MID_SUBFILES = register("filesystem.create.mid_subfiles")
+CP_CREATE_AFTER_SUBFILES = register("filesystem.create.after_subfiles")
+CP_CREATE_AFTER_METADATA = register("filesystem.create.after_metadata")
+CP_REMOVE_AFTER_INTENT = register("filesystem.remove.after_intent")
+CP_REMOVE_AFTER_METADATA = register("filesystem.remove.after_metadata")
+CP_REMOVE_MID_SUBFILES = register("filesystem.remove.mid_subfiles")
+CP_REMOVE_AFTER_SUBFILES = register("filesystem.remove.after_subfiles")
+CP_RENAME_AFTER_INTENT = register("filesystem.rename.after_intent")
+CP_RENAME_AFTER_METADATA = register("filesystem.rename.after_metadata")
+CP_RENAME_MID_SUBFILES = register("filesystem.rename.mid_subfiles")
+CP_RENAME_AFTER_SUBFILES = register("filesystem.rename.after_subfiles")
+CP_GROW_AFTER_INTENT = register("filesystem.grow.after_intent")
+CP_GROW_AFTER_METADATA = register("filesystem.grow.after_metadata")
+CP_REFILL_AFTER_INTENT = register("filesystem.refill.after_intent")
+CP_REFILL_MID_COPY = register("filesystem.refill.mid_copy")
+CP_REFILL_AFTER_COPY = register("filesystem.refill.after_copy")
 
 
 class _SubsetPolicy(PlacementPolicy):
@@ -90,11 +122,14 @@ class DPFS:
         io_retries: int = 3,
         io_backoff_s: float = 0.002,
         tracing: bool = False,
+        auto_recover: bool = True,
     ) -> None:
         self.backend = backend
         self.db = db if db is not None else Database()
         self.meta = MetadataManager(self.db)
         self.meta.register_servers(backend.servers)
+        #: write-ahead journal of multi-step mutations (dpfs_intent table)
+        self.intents = IntentLog(self.db)
         self.owner = owner
         self.default_combine = default_combine
         #: unified observability: one registry per instance is the
@@ -136,11 +171,14 @@ class DPFS:
         #: repaired yet: (path, brick_id, server).  Copy selection skips
         #: these; read-repair and the scrubber clear them.
         self.quarantine: set[tuple[str, int, int]] = set()
-        #: striped per-path locks serializing read-back + checksum update
-        #: after a write: the last updater of a brick shared by concurrent
+        #: per-path locks serializing read-back + checksum update after a
+        #: write: the last updater of a brick shared by concurrent
         #: disjoint-extent writers must hash a snapshot that already holds
         #: every earlier updater's bytes, or it persists a stale CRC.
-        self._crc_locks = [threading.Lock() for _ in range(16)]
+        #: Entries are evicted on remove()/rename() so the map tracks
+        #: live paths only instead of growing without bound.
+        self._crc_locks: dict[str, threading.Lock] = {}
+        self._crc_locks_guard = threading.Lock()
         self._c_failover = self.metrics.counter(
             "dpfs_read_failovers_total",
             "reads served from a non-preferred brick copy, by reason",
@@ -156,6 +194,11 @@ class DPFS:
             "dpfs_write_degraded_total",
             "writes that succeeded with fewer than all copies",
         )
+        #: crash recovery: roll any intents a dead client left behind
+        #: forward or back before this mount serves its first request
+        self.last_recovery: RecoveryReport | None = None
+        if auto_recover:
+            self.last_recovery = self.recover()
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -248,7 +291,24 @@ class DPFS:
         self._c_degraded.inc()
 
     def _crc_lock(self, path: str) -> threading.Lock:
-        return self._crc_locks[hash(path) % len(self._crc_locks)]
+        with self._crc_locks_guard:
+            return self._crc_locks.setdefault(path, threading.Lock())
+
+    def _evict_crc_lock(self, path: str) -> None:
+        with self._crc_locks_guard:
+            self._crc_locks.pop(path, None)
+
+    def _forget_path(self, path: str) -> None:
+        """Drop every in-memory trace of a removed/renamed path."""
+        if self.cache is not None:
+            self.cache.invalidate_file(path)
+        self.quarantine = {q for q in self.quarantine if q[0] != path}
+        self._evict_crc_lock(path)
+
+    # -- recovery --------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Roll every pending intent forward or back (``dpfs recover``)."""
+        return _recover_intents(self)
 
     # -- namespace ------------------------------------------------------------
     def mkdir(self, path: str) -> None:
@@ -281,34 +341,221 @@ class DPFS:
         self.meta.set_permission(path, permission)
 
     def remove(self, path: str) -> None:
-        """rm: drop metadata and delete every subfile (replicas too)."""
+        """rm — journalled: drop metadata (the commit point), then delete
+        every server's subfiles (replicas too).
+
+        The metadata drop is one SQL transaction; the subfile deletes
+        fan out through the dispatcher and run on *every* server even
+        when some fail, so one DOWN server no longer strands the rest.
+        Failures surface as one :class:`MultiServerError` and leave the
+        intent journalled for a later recovery sweep to finish.
+        """
         norm = normalize_path(path)
-        self.meta.remove_file(norm)
-        if self.cache is not None:
-            self.cache.invalidate_file(norm)
-        self.quarantine = {q for q in self.quarantine if q[0] != norm}
-        for server in range(self.backend.n_servers):
-            self.backend.delete_subfile(server, norm)
-            self.backend.delete_subfile(server, replica_subfile(norm))
+        if not self.meta.file_exists(norm):
+            raise FileNotFound(norm)
+        intent = self.intents.begin(
+            "remove",
+            {"path": norm},
+            steps=["remove-metadata", "delete-subfiles"],
+            commit_step="remove-metadata",
+        )
+        crashpoint(CP_REMOVE_AFTER_INTENT)
+        try:
+            self.meta.remove_file(norm)
+        except Exception:
+            self.intents.retire(intent)
+            raise
+        self.intents.mark(intent, "remove-metadata")
+        crashpoint(CP_REMOVE_AFTER_METADATA)
+        self._forget_path(norm)
+        self._redo_remove_subfiles(norm)   # raises MultiServerError, intent kept
+        crashpoint(CP_REMOVE_AFTER_SUBFILES)
+        self.intents.mark(intent, "delete-subfiles")
+        self.intents.retire(intent)
 
     def rename(self, old: str, new: str) -> None:
-        """mv: rename a file (metadata re-key + subfile renames)."""
+        """mv — journalled: metadata re-key (the commit point), then
+        per-server subfile renames fanned out through the dispatcher.
+
+        Subfile renames are idempotent (skip a server that already
+        holds the new name) and tolerate missing replica subfiles, so
+        recovery can replay them and a partly-renamed cluster converges
+        instead of erroring half-way.
+        """
         old_norm = normalize_path(old)
         new_norm = normalize_path(new)
+        if old_norm == new_norm:
+            return
         replicated = False
         if self.meta.file_exists(old_norm):
             record, _ = self.meta.load_file(old_norm)
             replicated = record.replicas > 1
-        self.meta.rename_file(old_norm, new_norm)
-        if self.cache is not None:
-            self.cache.invalidate_file(old_norm)
-        self.quarantine = {q for q in self.quarantine if q[0] != old_norm}
-        for server in range(self.backend.n_servers):
-            self.backend.rename_subfile(server, old_norm, new_norm)
+        intent = self.intents.begin(
+            "rename",
+            {"old": old_norm, "new": new_norm, "replicated": replicated},
+            steps=["rekey-metadata", "rename-subfiles"],
+            commit_step="rekey-metadata",
+        )
+        crashpoint(CP_RENAME_AFTER_INTENT)
+        try:
+            self.meta.rename_file(old_norm, new_norm)
+        except Exception:
+            self.intents.retire(intent)
+            raise
+        self.intents.mark(intent, "rekey-metadata")
+        crashpoint(CP_RENAME_AFTER_METADATA)
+        self._forget_path(old_norm)
+        self._redo_rename_subfiles(old_norm, new_norm, replicated)
+        crashpoint(CP_RENAME_AFTER_SUBFILES)
+        self.intents.mark(intent, "rename-subfiles")
+        self.intents.retire(intent)
+
+    # -- journalled per-server fan-out (shared with crash recovery) ------------
+    def _fanout_subfiles(self, op: str, fn) -> None:
+        """Run ``fn(server)`` on every server through the dispatcher.
+
+        Unlike a plain dispatch, failures don't stop the batch: every
+        server is attempted, then the failures — if any — are raised as
+        one aggregate :class:`MultiServerError`.
+        """
+        servers = list(range(self.backend.n_servers))
+        results = self.dispatcher.run(
+            servers, fn, server_of=lambda s: s, collect_errors=True
+        )
+        errors = [
+            (s, r) for s, r in zip(servers, results) if isinstance(r, Exception)
+        ]
+        if errors:
+            raise MultiServerError(op, errors)
+
+    def _redo_create_subfiles(self, norm: str, replicated: bool) -> None:
+        rname = replica_subfile(norm)
+
+        def op(server: int) -> None:
+            self.backend.create_subfile(server, norm)
             if replicated:
-                self.backend.rename_subfile(
-                    server, replica_subfile(old_norm), replica_subfile(new_norm)
+                self.backend.create_subfile(server, rname)
+            crashpoint(CP_CREATE_MID_SUBFILES)
+
+        self._fanout_subfiles("create", op)
+
+    def _undo_create_subfiles(self, norm: str) -> None:
+        rname = replica_subfile(norm)
+
+        def op(server: int) -> None:
+            self.backend.delete_subfile(server, norm)
+            self.backend.delete_subfile(server, rname)
+
+        self._fanout_subfiles("create-rollback", op)
+
+    def _redo_remove_subfiles(self, norm: str) -> None:
+        rname = replica_subfile(norm)
+
+        def op(server: int) -> None:
+            self.backend.delete_subfile(server, norm)
+            self.backend.delete_subfile(server, rname)
+            crashpoint(CP_REMOVE_MID_SUBFILES)
+
+        self._fanout_subfiles("remove", op)
+
+    def _redo_rename_subfiles(
+        self, old_norm: str, new_norm: str, replicated: bool
+    ) -> None:
+        def op(server: int) -> None:
+            self._rename_subfile_idempotent(server, old_norm, new_norm)
+            if replicated:
+                self._rename_subfile_idempotent(
+                    server,
+                    replica_subfile(old_norm),
+                    replica_subfile(new_norm),
                 )
+            crashpoint(CP_RENAME_MID_SUBFILES)
+
+        self._fanout_subfiles("rename", op)
+
+    def _rename_subfile_idempotent(
+        self, server: int, old_name: str, new_name: str
+    ) -> None:
+        """Converge one subfile toward its new name, whatever the start.
+
+        Old exists → rename it.  Old gone but new present → a previous
+        attempt already finished here, skip.  Neither → recreate the
+        (sparse) subfile under the new name so metadata never references
+        a missing one.
+        """
+        backend = self.backend
+        if backend.subfile_exists(server, old_name):
+            backend.rename_subfile(server, old_name, new_name)
+        elif not backend.subfile_exists(server, new_name):
+            backend.create_subfile(server, new_name)
+
+    # -- replica refill (journalled; fsck --repair entry point) ----------------
+    def refill_replica_subfile(self, path: str, server: int) -> bool:
+        """Recreate a lost replica subfile and refill it from primaries.
+
+        Journalled with an empty commit step, i.e. *always* rolled
+        forward: re-running a refill from scratch is idempotent and the
+        only useful recovery.  Returns False (keeping the intent
+        pending for the next sweep) when a server is unreachable.
+        """
+        intent = self.intents.begin(
+            "refill",
+            {"path": path, "server": server},
+            steps=["copy-bricks"],
+            commit_step="",
+        )
+        crashpoint(CP_REFILL_AFTER_INTENT)
+        try:
+            record, bmap = self.meta.load_file(path)
+            rmap = self.meta.load_replica_map(path, record)
+            self._copy_replica_bricks(path, bmap, rmap, server)
+        except (DPFSError, OSError):
+            return False
+        crashpoint(CP_REFILL_AFTER_COPY)
+        self.intents.mark(intent, "copy-bricks")
+        self.intents.retire(intent)
+        return True
+
+    def _copy_replica_bricks(
+        self, path: str, bmap: BrickMap, rmap: ReplicaMap, server: int
+    ) -> None:
+        """(Re)write every replica brick one server holds, from primaries."""
+        rname = replica_subfile(path)
+        self.backend.create_subfile(server, rname)
+        for rloc in (
+            rl
+            for b in rmap.bricklists[server]
+            for rl in rmap.locations(b)
+            if rl.server == server
+        ):
+            ploc = bmap.location(rloc.brick_id)
+            data = self.backend.read_extents(
+                ploc.server, path, [(ploc.local_offset, ploc.size)]
+            )
+            self.backend.write_extents(
+                server, rname, [(rloc.local_offset, rloc.size)], bytes(data)
+            )
+            crashpoint(CP_REFILL_MID_COPY)
+
+    def _redo_refill_replicas(self, path: str, server: int | None = None) -> None:
+        """Crash-recovery redo: refill one server's (or every) replica set."""
+        if not self.meta.file_exists(path):
+            return  # the file is gone; nothing left to refill
+        record, bmap = self.meta.load_file(path)
+        if record.replicas <= 1:
+            return
+        rmap = self.meta.load_replica_map(path, record)
+        targets = (
+            [server]
+            if server is not None
+            else [
+                s
+                for s in range(self.backend.n_servers)
+                if rmap.bricklists[s]
+            ]
+        )
+        for s in targets:
+            self._copy_replica_bricks(path, bmap, rmap, s)
 
     def du(self, path: str = "/") -> int:
         """Total logical bytes of all files at or under ``path``."""
@@ -460,13 +707,45 @@ class DPFS:
             brick_sizes=list(sizes),
             replicas=hint.replicas,
         )
-        self.meta.create_file(
-            record, brick_map, self._server_names, replica_map
+        # pre-flight namespace checks so no subfile is created for a
+        # request that was always going to fail (create_file re-checks
+        # the same conditions atomically inside its transaction)
+        parent, _base = split_path(norm)
+        if not self.meta.dir_exists(parent):
+            raise FileNotFound(f"no such directory: {parent}")
+        if self.meta.file_exists(norm) or self.meta.dir_exists(norm):
+            raise FileExists(norm)
+        replicated = hint.replicas > 1
+        # journalled create: subfiles first, metadata commit last — a
+        # crash before the commit leaves only orphan subfiles, which
+        # roll-back deletes; after it, roll-forward re-creates any
+        # subfile the crash skipped (idempotent).
+        intent = self.intents.begin(
+            "create",
+            {"path": norm, "replicated": replicated},
+            steps=["create-subfiles", "write-metadata"],
+            commit_step="write-metadata",
         )
-        for server in range(self.backend.n_servers):
-            self.backend.create_subfile(server, norm)
-            if hint.replicas > 1:
-                self.backend.create_subfile(server, replica_subfile(norm))
+        crashpoint(CP_CREATE_AFTER_INTENT)
+        try:
+            self._redo_create_subfiles(norm, replicated)
+            self.intents.mark(intent, "create-subfiles")
+            crashpoint(CP_CREATE_AFTER_SUBFILES)
+            self.meta.create_file(
+                record, brick_map, self._server_names, replica_map
+            )
+        except Exception:
+            # undo whatever subfiles landed; if even that fails, the
+            # intent stays journalled and the next sweep rolls it back
+            try:
+                self._undo_create_subfiles(norm)
+                self.intents.retire(intent)
+            except Exception:  # noqa: BLE001 - recovery owns the rest
+                pass
+            raise
+        self.intents.mark(intent, "write-metadata")
+        crashpoint(CP_CREATE_AFTER_METADATA)
+        self.intents.retire(intent)
         return record, brick_map, replica_map
 
     def _check_capacity(
@@ -524,16 +803,37 @@ class DPFS:
             record.brick_crcs = record.brick_crcs + [None] * (
                 len(handle.brick_map) - len(record.brick_crcs)
             )
-            self.meta.update_distribution(
-                record.path, handle.brick_map, record.brick_sizes,
-                self._server_names,
+            # journalled grow: every metadata effect (geometry,
+            # distribution, replica map, size) is ONE transaction — the
+            # commit point.  No storage-side step exists: new bricks
+            # materialise lazily on first write, so before the commit
+            # nothing happened and after it nothing is left to do.
+            intent = self.intents.begin(
+                "grow",
+                {"path": record.path, "new_size": new_size},
+                steps=["update-metadata"],
+                commit_step="update-metadata",
             )
-            if record.replicas > 1 and replica_map is not None:
-                self.meta.update_replica_map(
-                    record.path, replica_map, self._server_names
+            crashpoint(CP_GROW_AFTER_INTENT)
+            try:
+                self.meta.grow_file(
+                    record.path,
+                    handle.brick_map,
+                    record.brick_sizes,
+                    self._server_names,
+                    replica_map if record.replicas > 1 else None,
+                    new_size,
                 )
+            except Exception:
+                self.intents.retire(intent)
+                raise
+            self.intents.mark(intent, "update-metadata")
+            crashpoint(CP_GROW_AFTER_METADATA)
+            self.intents.retire(intent)
+        else:
+            # no new bricks: the size update is a single (atomic) statement
+            self.meta.update_file_size(record.path, new_size)
         record.size = new_size
-        self.meta.update_file_size(record.path, new_size)
 
     def _handle_closed(self, handle: FileHandle) -> None:
         """DPFS-Close hook — metadata is already durable; nothing to flush."""

@@ -7,6 +7,10 @@ the metadata database and the servers' subfiles — and reports (or
 repairs) drift between them:
 
 =====================  =====================================================
+``pending-intent``     the intent journal holds a multi-step operation a
+                       crashed client never finished (repair: run the
+                       recovery engine — roll forward past the commit
+                       step, roll back before it)
 ``missing-subfile``    a bricklist references a server where the subfile
                        does not exist (repair: recreate empty; sparse
                        semantics make unwritten bricks read as zeros)
@@ -100,6 +104,31 @@ def fsck(fs: "DPFS", repair: bool = False, *, deep: bool = True) -> FsckReport:
     meta = fs.meta
     backend = fs.backend
 
+    # -- pass 0: crashed multi-step operations (intent journal) ----------------
+    # Run before everything else: recovering a half-done remove/rename
+    # is what makes the later passes see a consistent tree.
+    pending = fs.intents.pending()
+    if pending:
+        outcome = {}
+        if repair:
+            outcome = {a.intent_id: a for a in fs.recover().actions}
+        for intent in pending:
+            action = outcome.get(intent.intent_id)
+            detail = (
+                f"{intent.op} interrupted mid-flight (steps done: "
+                f"{', '.join(intent.done) if intent.done else 'none'})"
+            )
+            if action is not None and not action.ok and action.detail:
+                detail += f" — recovery stuck: {action.detail}"
+            report.findings.append(
+                Finding(
+                    "pending-intent",
+                    intent.path,
+                    detail,
+                    bool(action and action.ok),
+                )
+            )
+
     referenced: set[str] = set()
 
     # -- pass 1: every file's brick map and subfiles --------------------------
@@ -145,9 +174,7 @@ def fsck(fs: "DPFS", repair: bool = False, *, deep: bool = True) -> FsckReport:
                 if not backend.subfile_exists(server, rname):
                     repaired = False
                     if repair:
-                        repaired = _refill_replica_subfile(
-                            fs, path, bmap, rmap, server
-                        )
+                        repaired = fs.refill_replica_subfile(path, server)
                     report.findings.append(
                         Finding(
                             "missing-replica",
@@ -262,33 +289,6 @@ def fsck(fs: "DPFS", repair: bool = False, *, deep: bool = True) -> FsckReport:
                     )
                 )
     return report
-
-
-def _refill_replica_subfile(fs, path, bmap, rmap, server: int) -> bool:
-    """Recreate a lost replica subfile and refill it from the primaries."""
-    from ..errors import DPFSError as _DPFSError
-    from .brick import replica_subfile
-
-    rname = replica_subfile(path)
-    backend = fs.backend
-    try:
-        backend.create_subfile(server, rname)
-        for rloc in (
-            rl
-            for b in rmap.bricklists[server]
-            for rl in rmap.locations(b)
-            if rl.server == server
-        ):
-            ploc = bmap.location(rloc.brick_id)
-            data = backend.read_extents(
-                ploc.server, path, [(ploc.local_offset, ploc.size)]
-            )
-            backend.write_extents(
-                server, rname, [(rloc.local_offset, rloc.size)], bytes(data)
-            )
-    except (_DPFSError, OSError):
-        return False
-    return True
 
 
 def _unlink_dir_entry(meta, parent: str, name: str, *, is_dir: bool) -> None:

@@ -428,25 +428,31 @@ class MetadataManager:
         """Rewrite replica bricklists after a replicated file grew."""
         norm = normalize_path(path)
         with self.db.transaction():
-            for server, bricklist in enumerate(replica_map.to_lists()):
-                if not bricklist:
-                    continue
-                dist_id = f"{server_names[server]}|{norm}"
-                existing = self.db.execute(
-                    "SELECT dist_id FROM dpfs_file_replica WHERE dist_id = ?",
-                    [dist_id],
-                ).rows
-                if existing:
-                    self.db.execute(
-                        "UPDATE dpfs_file_replica SET bricklist = ? "
-                        "WHERE dist_id = ?",
-                        [bricklist, dist_id],
-                    )
-                else:
-                    self.db.execute(
-                        "INSERT INTO dpfs_file_replica VALUES (?, ?, ?, ?)",
-                        [dist_id, server_names[server], norm, bricklist],
-                    )
+            self._upsert_replica_rows(norm, replica_map, server_names)
+
+    def _upsert_replica_rows(
+        self, norm: str, replica_map: ReplicaMap, server_names: list[str]
+    ) -> None:
+        """Write replica bricklist rows (caller holds the transaction)."""
+        for server, bricklist in enumerate(replica_map.to_lists()):
+            if not bricklist:
+                continue
+            dist_id = f"{server_names[server]}|{norm}"
+            existing = self.db.execute(
+                "SELECT dist_id FROM dpfs_file_replica WHERE dist_id = ?",
+                [dist_id],
+            ).rows
+            if existing:
+                self.db.execute(
+                    "UPDATE dpfs_file_replica SET bricklist = ? "
+                    "WHERE dist_id = ?",
+                    [bricklist, dist_id],
+                )
+            else:
+                self.db.execute(
+                    "INSERT INTO dpfs_file_replica VALUES (?, ?, ?, ?)",
+                    [dist_id, server_names[server], norm, bricklist],
+                )
 
     def update_brick_crcs(
         self, path: str, crcs: dict[int, int | None]
@@ -499,42 +505,80 @@ class MetadataManager:
         """Rewrite bricklists + geometry after a file grew (linear level)."""
         norm = normalize_path(path)
         with self.db.transaction():
-            rows = self.db.execute(
-                "SELECT geometry FROM dpfs_file_attr WHERE filename = ?",
-                [norm],
+            self._grow_geometry(norm, brick_sizes)
+            self._upsert_distribution_rows(norm, brick_map, server_names)
+
+    def _grow_geometry(self, norm: str, brick_sizes: list[int]) -> None:
+        """Extend geometry's brick_sizes/brick_crcs (caller holds txn)."""
+        rows = self.db.execute(
+            "SELECT geometry FROM dpfs_file_attr WHERE filename = ?",
+            [norm],
+        ).rows
+        if not rows:
+            raise FileNotFound(norm)
+        geometry = dict(rows[0]["geometry"])
+        geometry["brick_sizes"] = list(brick_sizes)
+        crcs = list(
+            geometry.get("brick_crcs") or []
+        )
+        if len(crcs) < len(brick_sizes):  # new bricks: crc unknown
+            crcs += [None] * (len(brick_sizes) - len(crcs))
+        geometry["brick_crcs"] = crcs[: len(brick_sizes)]
+        self.db.execute(
+            "UPDATE dpfs_file_attr SET geometry = ? WHERE filename = ?",
+            [geometry, norm],
+        )
+
+    def _upsert_distribution_rows(
+        self, norm: str, brick_map: BrickMap, server_names: list[str]
+    ) -> None:
+        """Write distribution bricklist rows (caller holds the transaction)."""
+        for server, bricklist in enumerate(brick_map.to_lists()):
+            dist_id = f"{server_names[server]}|{norm}"
+            existing = self.db.execute(
+                "SELECT dist_id FROM dpfs_file_distribution "
+                "WHERE dist_id = ?",
+                [dist_id],
             ).rows
-            if not rows:
-                raise FileNotFound(norm)
-            geometry = dict(rows[0]["geometry"])
-            geometry["brick_sizes"] = list(brick_sizes)
-            crcs = list(
-                geometry.get("brick_crcs") or []
-            )
-            if len(crcs) < len(brick_sizes):  # new bricks: crc unknown
-                crcs += [None] * (len(brick_sizes) - len(crcs))
-            geometry["brick_crcs"] = crcs[: len(brick_sizes)]
-            self.db.execute(
-                "UPDATE dpfs_file_attr SET geometry = ? WHERE filename = ?",
-                [geometry, norm],
-            )
-            for server, bricklist in enumerate(brick_map.to_lists()):
-                dist_id = f"{server_names[server]}|{norm}"
-                existing = self.db.execute(
-                    "SELECT dist_id FROM dpfs_file_distribution "
+            if existing:
+                self.db.execute(
+                    "UPDATE dpfs_file_distribution SET bricklist = ? "
                     "WHERE dist_id = ?",
-                    [dist_id],
-                ).rows
-                if existing:
-                    self.db.execute(
-                        "UPDATE dpfs_file_distribution SET bricklist = ? "
-                        "WHERE dist_id = ?",
-                        [bricklist, dist_id],
-                    )
-                else:
-                    self.db.execute(
-                        "INSERT INTO dpfs_file_distribution VALUES (?, ?, ?, ?)",
-                        [dist_id, server_names[server], norm, bricklist],
-                    )
+                    [bricklist, dist_id],
+                )
+            else:
+                self.db.execute(
+                    "INSERT INTO dpfs_file_distribution VALUES (?, ?, ?, ?)",
+                    [dist_id, server_names[server], norm, bricklist],
+                )
+
+    def grow_file(
+        self,
+        path: str,
+        brick_map: BrickMap,
+        brick_sizes: list[int],
+        server_names: list[str],
+        replica_map: ReplicaMap | None,
+        new_size: int,
+    ) -> None:
+        """Every metadata effect of growing a linear file, atomically.
+
+        Historically growth issued three separate transactions
+        (distribution, replica map, size) — a crash between them left
+        the attr row disagreeing with the bricklists.  One transaction
+        makes grow's metadata step all-or-nothing, which is what lets
+        the grow intent treat it as its commit point.
+        """
+        norm = normalize_path(path)
+        with self.db.transaction():
+            self._grow_geometry(norm, brick_sizes)
+            self._upsert_distribution_rows(norm, brick_map, server_names)
+            if replica_map is not None:
+                self._upsert_replica_rows(norm, replica_map, server_names)
+            self.db.execute(
+                "UPDATE dpfs_file_attr SET size = ? WHERE filename = ?",
+                [new_size, norm],
+            )
 
     def remove_file(self, path: str) -> None:
         norm = normalize_path(path)

@@ -20,6 +20,10 @@ the one stored in metadata.  The stored checksum arbitrates:
                        is reported unrepairable
 ``unreadable-copy``    a copy could not be read at all (repair: rewrite
                        from a verified copy, recreating the subfile)
+``pending-intent``     the intent journal holds an unfinished multi-step
+                       operation — data findings on that path may be
+                       transient (report-only: ``dpfs recover`` or
+                       ``dpfs fsck --repair`` resolve it)
 =====================  ====================================================
 
 Bricks whose stored checksum is ``None`` (never written, or created
@@ -112,6 +116,17 @@ def scrub(fs: "DPFS", repair: bool = False) -> ScrubReport:
     c_findings = fs.metrics.counter(
         "dpfs_scrub_findings_total", "bad copies found by the scrubber"
     )
+    # a crashed multi-step operation can make a path look corrupt
+    # (half-renamed subfiles, missing replicas); surface the journal
+    # state so the operator recovers before trusting data findings
+    for intent in fs.intents.pending():
+        report.findings.append(
+            ScrubFinding(
+                "pending-intent", intent.path, -1, -1,
+                f"{intent.op} interrupted mid-flight; run `dpfs recover` "
+                f"(or `dpfs fsck --repair`) first",
+            )
+        )
     for path in fs.meta.iter_files():
         report.files_checked += 1
         try:

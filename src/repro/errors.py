@@ -26,6 +26,8 @@ __all__ = [
     "PlacementError",
     "ChecksumError",
     "ReplicationError",
+    "IntentError",
+    "MultiServerError",
     # parallel dispatch
     "DispatchError",
     "DispatchTimeout",
@@ -119,6 +121,28 @@ class ChecksumError(FileSystemError):
 class ReplicationError(FileSystemError):
     """Replica configuration or layout violation (replicas > servers,
     two copies of a brick on one server, ...)."""
+
+
+class IntentError(FileSystemError):
+    """Malformed intent-journal record or illegal journal operation."""
+
+
+class MultiServerError(FileSystemError):
+    """A fan-out subfile operation failed on one or more servers.
+
+    The operation was still *applied* to every reachable server (no
+    abort at the first failure) and its intent stays journalled, so a
+    later recovery sweep can finish the stragglers.  ``errors`` holds
+    ``(server, exception)`` pairs for every server that failed.
+    """
+
+    def __init__(self, op: str, errors: list[tuple[int, Exception]]) -> None:
+        self.op = op
+        self.errors = list(errors)
+        detail = "; ".join(f"server {s}: {e}" for s, e in self.errors)
+        super().__init__(
+            f"{op}: {len(self.errors)} server(s) failed ({detail})"
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -7,7 +7,8 @@ import pytest
 from repro.backends import MemoryBackend
 from repro.backends.faulty import FaultyBackend, InjectedFault, TransientFault
 from repro.core import DPFS, Hint
-from repro.errors import RetryExhausted
+from repro.core.fsck import fsck
+from repro.errors import MultiServerError, RetryExhausted
 
 
 @pytest.fixture
@@ -72,15 +73,16 @@ def test_write_fault_leaves_metadata_consistent(fs, faulty):
 
 
 def test_create_fault_aborts_cleanly(fs, faulty):
-    """If subfile creation fails after metadata insertion, the file is
-    visible but unusable — removing it recovers fully."""
+    """If subfile creation fails mid-fan-out, the create rolls back
+    completely: every reachable server was still attempted, the failure
+    surfaces as one aggregate error, and the namespace stays reusable."""
     faulty.fail_next("create")
-    with pytest.raises(InjectedFault):
+    with pytest.raises(MultiServerError) as excinfo:
         fs.write_file("/doomed", b"x" * 10)
-    # recovery path: rm works even with some subfiles missing
-    if fs.exists("/doomed"):
-        fs.remove("/doomed")
+    assert any(isinstance(e, InjectedFault) for _s, e in excinfo.value.errors)
+    # metadata never committed and the orphan subfiles were undone
     assert not fs.exists("/doomed")
+    assert fsck(fs).clean
     # and the namespace is reusable
     fs.write_file("/doomed", b"fresh")
     assert fs.read_file("/doomed") == b"fresh"

@@ -1,0 +1,294 @@
+"""The systematic crash sweep: every registered crash point, in every
+journalled multi-step operation, must be recoverable.
+
+For each (operation, crash point) pair the test arms the point, runs
+the operation until it "dies" (:class:`SimulatedCrash` is a
+BaseException, so no library handler can absorb it), then remounts the
+same backend + metadata database.  Mount-time recovery must leave:
+
+- an empty intent journal,
+- a clean ``fsck`` (no orphan subfiles, no dangling metadata),
+- a clean ``scrub`` (no torn or diverged data),
+- the file in exactly its old or its new state — never torn.
+
+``io_workers=1`` forces inline sequential dispatch so "crash after the
+first server's work" (the ``mid_*`` points) is deterministic.
+"""
+
+import pytest
+
+from repro.backends.memory import MemoryBackend
+from repro.core import DPFS, Hint, fsck, scrub
+from repro.core.brick import replica_subfile
+from repro.core.crashpoints import (
+    SimulatedCrash,
+    arm,
+    armed,
+    armed_name,
+    crashpoint,
+    disarm,
+    registered,
+)
+from repro.metadb import Database
+
+BRICK = 512
+DATA = bytes(range(256)) * 8  # 4 bricks
+
+
+def lhint(size, replicas=1):
+    return Hint.linear(file_size=size, brick_size=BRICK, replicas=replicas)
+
+
+def _mount(backend, db, *, auto_recover=True):
+    return DPFS(backend, db, io_workers=1, auto_recover=auto_recover)
+
+
+# -- per-operation setup / crashing mutation / old-or-new check --------------
+
+def _setup_create(fs):
+    fs.makedirs("/d")
+    return {}
+
+
+def _crash_create(fs, ctx):
+    fs.write_file("/d/f", DATA, lhint(len(DATA)))
+
+
+def _check_create(fs, ctx):
+    # old state: no file at all; new state: created (and never written,
+    # since the crash predates the first write) — so it reads as zeros
+    if fs.exists("/d/f"):
+        assert fs.read_file("/d/f") == bytes(len(DATA))
+
+
+def _setup_remove(fs):
+    fs.makedirs("/d")
+    fs.write_file("/d/f", DATA, lhint(len(DATA)))
+    return {}
+
+
+def _crash_remove(fs, ctx):
+    fs.remove("/d/f")
+
+
+def _check_remove(fs, ctx):
+    if fs.exists("/d/f"):
+        assert fs.read_file("/d/f") == DATA
+
+
+def _setup_rename(fs):
+    fs.makedirs("/d")
+    fs.write_file("/d/f", DATA, lhint(len(DATA)))
+    return {}
+
+
+def _crash_rename(fs, ctx):
+    fs.rename("/d/f", "/d/g")
+
+
+def _check_rename(fs, ctx):
+    old, new = fs.exists("/d/f"), fs.exists("/d/g")
+    assert old != new, "rename left both (or neither) of old/new"
+    assert fs.read_file("/d/f" if old else "/d/g") == DATA
+
+
+def _setup_grow(fs):
+    fs.makedirs("/d")
+    fs.write_file("/d/f", DATA, lhint(len(DATA)))
+    return {"new_size": len(DATA) + 4 * BRICK}
+
+
+def _crash_grow(fs, ctx):
+    # no `with`: a context manager would run close() on the way out,
+    # which a genuinely dead client never does
+    handle = fs.open("/d/f", "r+")
+    handle.write(ctx["new_size"] - BRICK, b"Z" * BRICK)
+
+
+def _check_grow(fs, ctx):
+    record, _ = fs.meta.load_file("/d/f")
+    assert record.size in (len(DATA), ctx["new_size"])
+    assert fs.read_file("/d/f")[: len(DATA)] == DATA
+
+
+def _setup_refill(fs):
+    fs.makedirs("/d")
+    fs.write_file("/d/f", DATA, lhint(len(DATA), replicas=2))
+    record, _ = fs.meta.load_file("/d/f")
+    rmap = fs.meta.load_replica_map("/d/f", record)
+    server = next(
+        s for s in range(fs.backend.n_servers) if rmap.bricklists[s]
+    )
+    fs.backend.delete_subfile(server, replica_subfile("/d/f"))
+    return {"server": server}
+
+
+def _crash_refill(fs, ctx):
+    fs.refill_replica_subfile("/d/f", ctx["server"])
+
+
+def _check_refill(fs, ctx):
+    assert fs.backend.subfile_exists(
+        ctx["server"], replica_subfile("/d/f")
+    )
+    assert fs.read_file("/d/f") == DATA
+
+
+OPS = {
+    "create": (_setup_create, _crash_create, _check_create),
+    "remove": (_setup_remove, _crash_remove, _check_remove),
+    "rename": (_setup_rename, _crash_rename, _check_rename),
+    "grow": (_setup_grow, _crash_grow, _check_grow),
+    "refill": (_setup_refill, _crash_refill, _check_refill),
+}
+
+SWEEP = [
+    ("create", "filesystem.create.after_intent"),
+    ("create", "filesystem.create.mid_subfiles"),
+    ("create", "filesystem.create.after_subfiles"),
+    ("create", "filesystem.create.after_metadata"),
+    ("remove", "filesystem.remove.after_intent"),
+    ("remove", "filesystem.remove.after_metadata"),
+    ("remove", "filesystem.remove.mid_subfiles"),
+    ("remove", "filesystem.remove.after_subfiles"),
+    ("rename", "filesystem.rename.after_intent"),
+    ("rename", "filesystem.rename.after_metadata"),
+    ("rename", "filesystem.rename.mid_subfiles"),
+    ("rename", "filesystem.rename.after_subfiles"),
+    ("grow", "filesystem.grow.after_intent"),
+    ("grow", "filesystem.grow.after_metadata"),
+    ("refill", "filesystem.refill.after_intent"),
+    ("refill", "filesystem.refill.mid_copy"),
+    ("refill", "filesystem.refill.after_copy"),
+]
+
+
+def test_sweep_covers_every_registered_crash_point():
+    """Adding a crash point without adding it to the sweep is an error."""
+    assert sorted(p for _op, p in SWEEP) == registered("filesystem.")
+
+
+@pytest.mark.parametrize("op,point", SWEEP, ids=[p for _op, p in SWEEP])
+def test_crash_then_recover_leaves_consistent_state(op, point):
+    setup, crash, check = OPS[op]
+    db = Database()
+    backend = MemoryBackend(4)
+    fs = _mount(backend, db, auto_recover=False)
+    ctx = setup(fs)
+    arm(point)
+    try:
+        with pytest.raises(SimulatedCrash):
+            crash(fs, ctx)
+    finally:
+        disarm()
+    # the client is dead; a new mount over the same backend + metadata
+    # must recover on its own
+    fs2 = _mount(backend, db)
+    assert fs2.last_recovery is not None
+    assert fs2.last_recovery.clean, str(fs2.last_recovery)
+    assert fs2.intents.pending() == []
+    freport = fsck(fs2)
+    assert freport.clean, str(freport)
+    sreport = scrub(fs2)
+    assert sreport.clean, str(sreport)
+    check(fs2, ctx)
+
+
+def test_recovery_itself_is_crash_safe():
+    """A crash *during* the recovery sweep's redo must still converge on
+    the next mount — recovery replays the same idempotent steps."""
+    db = Database()
+    backend = MemoryBackend(4)
+    fs = _mount(backend, db, auto_recover=False)
+    fs.makedirs("/d")
+    fs.write_file("/d/f", DATA, lhint(len(DATA)))
+    arm("filesystem.remove.mid_subfiles")
+    try:
+        with pytest.raises(SimulatedCrash):
+            fs.remove("/d/f")
+        # second crash, now inside the mount-time recovery redo
+        arm("filesystem.remove.mid_subfiles")
+        with pytest.raises(SimulatedCrash):
+            _mount(backend, db)
+    finally:
+        disarm()
+    fs3 = _mount(backend, db)
+    assert fs3.last_recovery is not None and fs3.last_recovery.clean
+    assert not fs3.exists("/d/f")
+    assert fsck(fs3).clean
+    assert scrub(fs3).clean
+
+
+def test_fsck_reports_and_repairs_pending_intents():
+    db = Database()
+    backend = MemoryBackend(4)
+    fs = _mount(backend, db, auto_recover=False)
+    fs.write_file("/f", DATA, lhint(len(DATA)))
+    arm("filesystem.remove.after_metadata")
+    try:
+        with pytest.raises(SimulatedCrash):
+            fs.remove("/f")
+    finally:
+        disarm()
+    checker = _mount(backend, db, auto_recover=False)
+    report = fsck(checker)
+    found = report.by_kind("pending-intent")
+    assert found and not found[0].repaired
+    repaired = fsck(checker, repair=True)
+    assert repaired.by_kind("pending-intent")[0].repaired
+    assert fsck(checker).clean
+
+
+def test_scrub_reports_pending_intents_report_only():
+    db = Database()
+    backend = MemoryBackend(4)
+    fs = _mount(backend, db, auto_recover=False)
+    fs.write_file("/f", DATA, lhint(len(DATA)))
+    arm("filesystem.rename.after_metadata")
+    try:
+        with pytest.raises(SimulatedCrash):
+            fs.rename("/f", "/g")
+    finally:
+        disarm()
+    checker = _mount(backend, db, auto_recover=False)
+    report = scrub(checker)
+    assert report.by_kind("pending-intent")
+    assert report.unrepaired  # scrub never repairs these itself
+    checker.recover()
+    assert scrub(checker).by_kind("pending-intent") == []
+
+
+# -- crash point mechanics ---------------------------------------------------
+
+def test_arming_unknown_point_rejected():
+    with pytest.raises(KeyError):
+        arm("no.such.point")
+
+
+def test_crashpoint_fires_once_then_disarms():
+    arm("filesystem.remove.after_intent")
+    try:
+        with pytest.raises(SimulatedCrash):
+            crashpoint("filesystem.remove.after_intent")
+        assert armed_name() is None
+        crashpoint("filesystem.remove.after_intent")  # no-op now
+    finally:
+        disarm()
+
+
+def test_armed_context_manager_disarms_on_exit():
+    with armed("filesystem.remove.after_intent"):
+        assert armed_name() == "filesystem.remove.after_intent"
+    assert armed_name() is None
+
+
+def test_unarmed_crashpoint_is_noop():
+    assert armed_name() is None
+    crashpoint("filesystem.remove.after_intent")
+
+
+def test_simulated_crash_is_not_an_exception():
+    """The whole design rests on except-Exception handlers *not* eating
+    a simulated crash; pin that property."""
+    assert issubclass(SimulatedCrash, BaseException)
+    assert not issubclass(SimulatedCrash, Exception)

@@ -1,0 +1,239 @@
+"""Unit tests for the write-ahead intent journal and recovery engine,
+plus regressions for the fan-out error aggregation and the per-path
+CRC-lock map eviction that rode along with crash consistency."""
+
+import pytest
+
+from repro.backends.faulty import FaultyBackend, InjectedFault
+from repro.backends.memory import MemoryBackend
+from repro.core import DPFS, Hint, fsck
+from repro.core.intent import IntentLog
+from repro.errors import FileNotFound, IntentError, MultiServerError
+from repro.metadb import Database
+
+BRICK = 1024
+
+
+def lhint(size):
+    return Hint.linear(file_size=size, brick_size=BRICK)
+
+
+# ---------------------------------------------------------------------------
+# IntentLog
+# ---------------------------------------------------------------------------
+
+def test_begin_persists_and_pending_roundtrips():
+    log = IntentLog(Database())
+    intent = log.begin(
+        "rename",
+        {"old": "/a", "new": "/b"},
+        steps=["rekey-metadata", "rename-subfiles"],
+        commit_step="rekey-metadata",
+    )
+    assert intent.intent_id == "i00000001"
+    (got,) = log.pending()
+    assert got.op == "rename"
+    assert got.args == {"old": "/a", "new": "/b"}
+    assert got.steps == ["rekey-metadata", "rename-subfiles"]
+    assert got.done == []
+    assert got.commit_step == "rekey-metadata"
+    assert got.path == "/a"
+
+
+def test_mark_and_retire():
+    log = IntentLog(Database())
+    intent = log.begin("remove", {"path": "/f"}, ["a", "b"], "a")
+    assert not intent.committed
+    log.mark(intent, "a")
+    (got,) = log.pending()
+    assert got.done == ["a"]
+    assert got.committed
+    log.retire(intent)
+    assert log.pending() == []
+    log.retire(intent)  # idempotent
+
+
+def test_ids_are_sequential_and_survive_retire():
+    log = IntentLog(Database())
+    first = log.begin("remove", {"path": "/a"}, ["s"], "s")
+    second = log.begin("remove", {"path": "/b"}, ["s"], "s")
+    assert [i.intent_id for i in log.pending()] == [
+        first.intent_id,
+        second.intent_id,
+    ]
+    log.retire(first)
+    third = log.begin("remove", {"path": "/c"}, ["s"], "s")
+    assert third.intent_id > second.intent_id
+
+
+def test_empty_commit_step_always_rolls_forward():
+    log = IntentLog(Database())
+    intent = log.begin("refill", {"path": "/f", "server": 1}, ["copy"], "")
+    assert intent.committed  # forward even with no steps done
+
+
+def test_bad_commit_step_rejected():
+    log = IntentLog(Database())
+    with pytest.raises(IntentError):
+        log.begin("remove", {"path": "/f"}, ["a"], "nonexistent-step")
+
+
+def test_mark_unknown_step_rejected():
+    log = IntentLog(Database())
+    intent = log.begin("remove", {"path": "/f"}, ["a"], "a")
+    with pytest.raises(IntentError):
+        log.mark(intent, "b")
+
+
+def test_journal_survives_reopen(tmp_path):
+    meta = tmp_path / "meta.db"
+    log = IntentLog(Database(meta))
+    log.begin("remove", {"path": "/f"}, ["a"], "a")
+    log.db.close()
+    reopened = IntentLog(Database(meta))
+    (got,) = reopened.pending()
+    assert got.op == "remove" and got.path == "/f"
+
+
+# ---------------------------------------------------------------------------
+# recovery engine plumbing
+# ---------------------------------------------------------------------------
+
+def test_unknown_intent_op_reported_stuck_not_raised():
+    fs = DPFS.memory(n_servers=2)
+    fs.intents.begin("frobnicate", {"path": "/x"}, ["s"], "")
+    report = fs.recover()
+    assert not report.clean
+    (action,) = report.stuck
+    assert "unknown intent op" in action.detail
+    # the intent is kept for a smarter future sweep
+    assert len(fs.intents.pending()) == 1
+
+
+def test_recovery_failure_keeps_intent_and_continues_sweep():
+    backend = FaultyBackend(MemoryBackend(2))
+    fs = DPFS(backend, io_workers=1)
+    fs.write_file("/keep", b"k" * 64)
+    # two pending intents: the first will fail (delete fault), the
+    # second succeeds — the sweep must process both
+    fs.intents.begin("remove", {"path": "/gone-a"}, ["remove-metadata"], "")
+    fs.intents.begin(
+        "create",
+        {"path": "/gone-b"},
+        ["create-subfiles", "write-metadata"],
+        "write-metadata",  # not reached -> rolls back
+    )
+    backend.fail_next("delete", times=1, server=0)
+    report = fs.recover()
+    assert len(report.actions) == 2
+    assert len(report.stuck) == 1
+    assert len(report.recovered) == 1
+    assert len(fs.intents.pending()) == 1
+    backend.heal()
+    assert fs.recover().clean
+    assert fs.intents.pending() == []
+
+
+def test_mount_time_recovery_runs_by_default():
+    db = Database()
+    backend = MemoryBackend(2)
+    fs = DPFS(backend, db, auto_recover=False)
+    fs.intents.begin("remove", {"path": "/ghost"}, ["remove-metadata"], "")
+    fs2 = DPFS(backend, db)
+    assert fs2.last_recovery is not None
+    assert len(fs2.last_recovery.actions) == 1
+    assert fs2.intents.pending() == []
+
+
+# ---------------------------------------------------------------------------
+# satellite: all-servers fan-out with aggregate errors
+# ---------------------------------------------------------------------------
+
+def test_remove_applies_to_all_servers_despite_failure():
+    """One failing server no longer aborts the fan-out mid-loop: every
+    other server's subfile is deleted and the failures come back as one
+    aggregate MultiServerError."""
+    backend = FaultyBackend(MemoryBackend(4))
+    fs = DPFS(backend, io_workers=1)
+    fs.write_file("/f", bytes(4 * BRICK), lhint(4 * BRICK))
+    assert all(backend.subfile_exists(s, "/f") for s in range(4))
+    backend.fail_on("delete", server=2)
+    with pytest.raises(MultiServerError) as excinfo:
+        fs.remove("/f")
+    assert [s for s, _ in excinfo.value.errors] == [2]
+    assert isinstance(excinfo.value.errors[0][1], InjectedFault)
+    # servers 0, 1 and 3 were still cleaned up; metadata is gone
+    for server in (0, 1, 3):
+        assert not backend.subfile_exists(server, "/f")
+    assert backend.subfile_exists(2, "/f")
+    assert not fs.exists("/f")
+    # the intent stayed journalled; once the server heals, recovery
+    # finishes the job without manual intervention
+    assert len(fs.intents.pending()) == 1
+    backend.heal()
+    assert fs.recover().clean
+    assert not backend.subfile_exists(2, "/f")
+    assert fsck(fs).clean
+
+
+def test_rename_applies_to_all_servers_despite_failure():
+    backend = FaultyBackend(MemoryBackend(4))
+    fs = DPFS(backend, io_workers=1)
+    data = bytes(range(256)) * 16
+    fs.write_file("/old", data, lhint(len(data)))
+    backend.fail_on("rename", server=1)
+    with pytest.raises(MultiServerError) as excinfo:
+        fs.rename("/old", "/new")
+    assert [s for s, _ in excinfo.value.errors] == [1]
+    # metadata committed: the file lives at /new
+    assert fs.exists("/new") and not fs.exists("/old")
+    backend.heal()
+    assert fs.recover().clean
+    assert fsck(fs).clean
+    assert fs.read_file("/new") == data
+
+
+def test_remove_missing_file_still_raises_file_not_found():
+    fs = DPFS.memory(n_servers=2)
+    with pytest.raises(FileNotFound):
+        fs.remove("/nope")
+    assert fs.intents.pending() == []
+
+
+def test_rename_tolerates_missing_replica_subfiles():
+    """A non-replicated file has no replica subfiles; the idempotent
+    per-server rename must not error on their absence."""
+    fs = DPFS.memory(n_servers=4)
+    data = b"payload" * 100
+    fs.write_file("/plain", data, lhint(len(data)))
+    fs.rename("/plain", "/moved")
+    assert fs.read_file("/moved") == data
+    assert fs.intents.pending() == []
+    assert fsck(fs).clean
+
+
+# ---------------------------------------------------------------------------
+# satellite: per-path CRC lock map eviction
+# ---------------------------------------------------------------------------
+
+def test_crc_lock_map_does_not_retain_deleted_paths():
+    fs = DPFS.memory(n_servers=4)
+    for i in range(8):
+        path = f"/f{i}"
+        fs.write_file(path, bytes(BRICK), lhint(BRICK))
+        assert path in fs._crc_locks
+        fs.remove(path)
+        assert path not in fs._crc_locks
+    assert fs._crc_locks == {}
+
+
+def test_crc_lock_map_rekeys_on_rename():
+    fs = DPFS.memory(n_servers=4)
+    fs.write_file("/a", bytes(BRICK), lhint(BRICK))
+    assert "/a" in fs._crc_locks
+    fs.rename("/a", "/b")
+    assert "/a" not in fs._crc_locks
+    # the new name gets a fresh lock on its next write
+    with fs.open("/b", "r+") as h:
+        h.write(0, b"x" * 16)
+    assert "/b" in fs._crc_locks

@@ -1,0 +1,91 @@
+"""Kill-9 acceptance: a real client process, talking to real TCP
+servers through the chaos proxy, is murdered mid-rename with
+``os._exit`` (no cleanup, no flush).  Remounting the same metadata
+database against the same servers must recover without manual
+intervention: intent rolled forward, fsck/scrub clean, the file
+readable under exactly one name.
+
+The child is armed through the environment
+(``DPFS_CRASHPOINT=... DPFS_CRASHPOINT_MODE=exit``) and dies with
+:data:`repro.core.crashpoints.CRASH_EXIT_CODE`, so the parent can tell
+a simulated crash from any ordinary failure.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.core import DPFS, fsck, scrub
+from repro.core.crashpoints import CRASH_EXIT_CODE
+from repro.metadb import Database
+from repro.net import ChaosProxy, DPFSServer
+
+PAYLOAD_LEN = 8 * 1024
+
+CHILD = """
+import sys
+from repro.core import DPFS, Hint
+from repro.metadb import Database
+
+meta = sys.argv[1]
+addrs = []
+for spec in sys.argv[2:]:
+    host, _, port = spec.rpartition(":")
+    addrs.append((host, int(port)))
+payload = (bytes(range(256)) * 33)[: {payload_len}]
+fs = DPFS.remote(addrs, db=Database(meta), io_workers=1)
+fs.makedirs("/d")
+fs.write_file(
+    "/d/f", payload, Hint.linear(file_size=len(payload), brick_size=1024)
+)
+fs.rename("/d/f", "/d/g")   # the armed crash point kills us in here
+raise SystemExit("crash point never fired")
+""".format(payload_len=PAYLOAD_LEN)
+
+
+def test_kill9_mid_rename_recovers_on_remount(tmp_path):
+    meta = tmp_path / "client.meta"
+    payload = (bytes(range(256)) * 33)[:PAYLOAD_LEN]
+    with DPFSServer(tmp_path / "srv0") as s0, DPFSServer(tmp_path / "srv1") as s1:
+        with ChaosProxy(s0.address) as proxy:
+            addrs = [proxy.address, s1.address]
+            specs = [f"{h}:{p}" for h, p in addrs]
+            env = dict(
+                os.environ,
+                PYTHONPATH=str(Path(repro.__file__).resolve().parents[1]),
+                DPFS_CRASHPOINT="filesystem.rename.after_metadata",
+                DPFS_CRASHPOINT_MODE="exit",
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", CHILD, str(meta), *specs],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=45,
+            )
+            assert proc.returncode == CRASH_EXIT_CODE, (
+                f"child exited {proc.returncode}, not the crash code "
+                f"{CRASH_EXIT_CODE}\nstdout: {proc.stdout}\n"
+                f"stderr: {proc.stderr}"
+            )
+
+            # the dead client committed the metadata re-key but never
+            # touched the subfiles; mounting the same database recovers
+            fs = DPFS.remote(addrs, db=Database(meta), io_workers=1)
+            try:
+                assert fs.last_recovery is not None
+                assert fs.last_recovery.clean, str(fs.last_recovery)
+                (action,) = fs.last_recovery.recovered
+                assert action.op == "rename"
+                assert action.direction == "forward"
+                assert fs.intents.pending() == []
+                assert not fs.exists("/d/f")
+                assert fs.read_file("/d/g") == payload
+                freport = fsck(fs)
+                assert freport.clean, str(freport)
+                sreport = scrub(fs)
+                assert sreport.clean, str(sreport)
+            finally:
+                fs.close()

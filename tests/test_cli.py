@@ -144,6 +144,79 @@ def test_scrub_subcommand(tmp_path, capsys):
     assert main(["fsck", "--root", str(root)]) == 0
 
 
+def _crash_mid_rename(root):
+    """Leave a half-renamed file + pending intent behind, like a dead
+    client would."""
+    from repro.core import DPFS, Hint
+    from repro.core.crashpoints import SimulatedCrash, arm, disarm
+
+    data = bytes(range(256)) * 16
+    fs = DPFS.local(root, n_servers=4, io_workers=1)
+    fs.write_file(
+        "/f", data, Hint.linear(file_size=len(data), brick_size=1024)
+    )
+    arm("filesystem.rename.after_metadata")
+    try:
+        try:
+            fs.rename("/f", "/g")
+        except SimulatedCrash:
+            pass
+        else:  # pragma: no cover - arming failed
+            raise AssertionError("crash point never fired")
+    finally:
+        disarm()
+        fs.db.close()
+        fs.dispatcher.shutdown()
+    return data
+
+
+def test_recover_subcommand_and_json_reports(tmp_path, capsys):
+    import json
+
+    root = tmp_path / "dpfs"
+    data = _crash_mid_rename(root)
+
+    # fsck --json surfaces the pending intent and exits nonzero
+    assert main(["fsck", "--root", str(root), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["tool"] == "fsck" and not report["clean"]
+    assert any(f["kind"] == "pending-intent" for f in report["findings"])
+
+    # scrub --json reports it too (report-only)
+    assert main(["scrub", "--root", str(root), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert any(f["kind"] == "pending-intent" for f in report["findings"])
+
+    # recover rolls the rename forward and exits zero
+    assert main(["recover", "--root", str(root), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["tool"] == "recover" and report["clean"]
+    (action,) = report["actions"]
+    assert action["op"] == "rename" and action["direction"] == "forward"
+    assert action["ok"]
+
+    # everything is clean afterwards and the file lives under /g
+    assert main(["fsck", "--root", str(root), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["clean"]
+    assert main(["scrub", "--root", str(root)]) == 0
+    capsys.readouterr()
+
+    from repro.core import DPFS
+
+    fs = DPFS.local(root, n_servers=4)
+    assert not fs.exists("/f")
+    assert fs.read_file("/g") == data
+    fs.close()
+
+
+def test_recover_subcommand_plain_output_when_idle(tmp_path, capsys):
+    root = tmp_path / "dpfs"
+    assert main(["shell", "--root", str(root), "-c", "mkdir /d"]) == 0
+    capsys.readouterr()
+    assert main(["recover", "--root", str(root)]) == 0
+    assert "0 pending intent(s)" in capsys.readouterr().out
+
+
 def test_fsck_repair_exits_nonzero_when_findings_remain(tmp_path, capsys):
     from repro.metadb import Database
 
