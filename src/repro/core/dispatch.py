@@ -22,9 +22,11 @@ Invariants:
   staggered schedules keep their meaning;
 - a dispatch returns (or raises) only after every submitted request has
   finished — no worker is still scattering into a caller's buffer when
-  control returns.  The single exception is :class:`DispatchTimeout`,
-  after which stragglers are abandoned and the caller must discard the
-  target buffer;
+  control returns.  The single exception is the batch deadline: without
+  ``collect_errors`` a :class:`DispatchTimeout` is raised, stragglers
+  are abandoned and the caller must discard the target buffer; with
+  ``collect_errors`` the timed-out slots *hold* a
+  :class:`DispatchTimeout` and the batch still accounts for every slot;
 - with ``max_workers=1`` requests run inline on the calling thread, in
   plan order — byte-identical semantics to sequential dispatch;
 - when the first (permanent) error is raised, every *successful*
@@ -324,7 +326,12 @@ class Dispatcher:
         (remove/rename fan-out) that must never stop half-way, then
         aggregate the failures themselves.  Only :class:`Exception`
         subclasses are collected — a :class:`BaseException` (simulated
-        crash, KeyboardInterrupt) still propagates immediately.
+        crash, KeyboardInterrupt) still propagates immediately.  A
+        request that misses the batch deadline is collected too (its
+        slot holds a :class:`DispatchTimeout`) rather than aborting the
+        batch; the underlying request may still finish in the
+        background, which is safe for these idempotent journalled
+        mutations because a recovery sweep converges the survivors.
         """
         if not items:
             return []
@@ -391,14 +398,23 @@ class Dispatcher:
                             timeout=max(0.0, deadline - time.perf_counter())
                         )
                 except _FutureTimeout:
-                    for straggler in futures:
-                        straggler.cancel()
                     self.stats._timeouts.inc()
-                    raise DispatchTimeout(
+                    timeout = DispatchTimeout(
                         f"server {server_of(items[i])}: request still running "
                         f"at the batch deadline ({self.policy.timeout_s}s "
                         f"from submission)"
-                    ) from None
+                    )
+                    if collect_errors:
+                        # the contract is every-slot-accounted-for: the
+                        # timed-out slot holds its exception and the
+                        # remaining futures are still collected (each
+                        # against the already-expired deadline), instead
+                        # of aborting the batch mid-way
+                        results[i] = timeout
+                        continue
+                    for straggler in futures:
+                        straggler.cancel()
+                    raise timeout from None
                 except Exception as exc:  # noqa: BLE001 - re-raised below
                     if collect_errors:
                         results[i] = exc

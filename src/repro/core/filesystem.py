@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Any, Sequence
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
 
 from ..backends.base import StorageBackend
 from ..backends.local import LocalBackend
@@ -54,24 +56,42 @@ DEFAULT_PERMISSION = 0o744
 # these in turn and proves recovery restores an fsck/scrub-clean
 # namespace.  The ``mid_subfiles``/``mid_copy`` points sit *inside* the
 # per-server fan-out, after one server's work, so they model a crash
-# with the mutation half-applied across the cluster.
+# with the mutation half-applied across the cluster.  The ``in_commit``
+# points sit inside the commit transaction, between the metadata
+# mutation and the intent mark that shares its transaction: a crash
+# there means the transaction never became durable, so recovery must
+# see an unmarked commit step and roll back.
 CP_CREATE_AFTER_INTENT = register("filesystem.create.after_intent")
 CP_CREATE_MID_SUBFILES = register("filesystem.create.mid_subfiles")
 CP_CREATE_AFTER_SUBFILES = register("filesystem.create.after_subfiles")
+CP_CREATE_IN_COMMIT = register("filesystem.create.in_commit")
 CP_CREATE_AFTER_METADATA = register("filesystem.create.after_metadata")
 CP_REMOVE_AFTER_INTENT = register("filesystem.remove.after_intent")
+CP_REMOVE_IN_COMMIT = register("filesystem.remove.in_commit")
 CP_REMOVE_AFTER_METADATA = register("filesystem.remove.after_metadata")
 CP_REMOVE_MID_SUBFILES = register("filesystem.remove.mid_subfiles")
 CP_REMOVE_AFTER_SUBFILES = register("filesystem.remove.after_subfiles")
 CP_RENAME_AFTER_INTENT = register("filesystem.rename.after_intent")
+CP_RENAME_IN_COMMIT = register("filesystem.rename.in_commit")
 CP_RENAME_AFTER_METADATA = register("filesystem.rename.after_metadata")
 CP_RENAME_MID_SUBFILES = register("filesystem.rename.mid_subfiles")
 CP_RENAME_AFTER_SUBFILES = register("filesystem.rename.after_subfiles")
 CP_GROW_AFTER_INTENT = register("filesystem.grow.after_intent")
+CP_GROW_IN_COMMIT = register("filesystem.grow.in_commit")
 CP_GROW_AFTER_METADATA = register("filesystem.grow.after_metadata")
 CP_REFILL_AFTER_INTENT = register("filesystem.refill.after_intent")
 CP_REFILL_MID_COPY = register("filesystem.refill.mid_copy")
 CP_REFILL_AFTER_COPY = register("filesystem.refill.after_copy")
+
+
+class _CrcLockEntry:
+    """One per-path CRC lock plus the count of threads holding/awaiting it."""
+
+    __slots__ = ("lock", "refs")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.refs = 0
 
 
 class _SubsetPolicy(PlacementPolicy):
@@ -123,6 +143,7 @@ class DPFS:
         io_backoff_s: float = 0.002,
         tracing: bool = False,
         auto_recover: bool = True,
+        recover_grace_s: float = 60.0,
     ) -> None:
         self.backend = backend
         self.db = db if db is not None else Database()
@@ -175,10 +196,15 @@ class DPFS:
         #: write: the last updater of a brick shared by concurrent
         #: disjoint-extent writers must hash a snapshot that already holds
         #: every earlier updater's bytes, or it persists a stale CRC.
-        #: Entries are evicted on remove()/rename() so the map tracks
-        #: live paths only instead of growing without bound.
-        self._crc_locks: dict[str, threading.Lock] = {}
+        #: The map is bounded two ways: remove()/rename() evict a dead
+        #: path's entry immediately, and the LRU cap below evicts idle
+        #: entries of *live* paths, so a long-lived mount touching many
+        #: files does not grow memory without bound.  Entries are
+        #: refcounted; only an entry no thread holds (or is about to
+        #: hold) is evictable, which keeps the lock-per-path guarantee.
+        self._crc_locks: OrderedDict[str, _CrcLockEntry] = OrderedDict()
         self._crc_locks_guard = threading.Lock()
+        self._crc_lock_cap = 1024
         self._c_failover = self.metrics.counter(
             "dpfs_read_failovers_total",
             "reads served from a non-preferred brick copy, by reason",
@@ -195,10 +221,19 @@ class DPFS:
             "writes that succeeded with fewer than all copies",
         )
         #: crash recovery: roll any intents a dead client left behind
-        #: forward or back before this mount serves its first request
+        #: forward or back before this mount serves its first request.
+        #: Only intents older than ``recover_grace_s`` are touched — an
+        #: intent younger than that may belong to a *live* client
+        #: sharing this metadata database (a second mount over the same
+        #: <root>/dpfs.meta, say), and "recovering" it would corrupt an
+        #: operation still in flight.  Pass ``recover_grace_s=0.0`` when
+        #: the mount is known exclusive (or the previous client is known
+        #: dead), or ``auto_recover=False`` plus an explicit
+        #: :meth:`recover` to control the sweep entirely.
+        self.recover_grace_s = recover_grace_s
         self.last_recovery: RecoveryReport | None = None
         if auto_recover:
-            self.last_recovery = self.recover()
+            self.last_recovery = self.recover(min_age_s=recover_grace_s)
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -290,11 +325,41 @@ class DPFS:
     def _note_degraded_write(self) -> None:
         self._c_degraded.inc()
 
-    def _crc_lock(self, path: str) -> threading.Lock:
+    @contextmanager
+    def _crc_lock(self, path: str) -> Iterator[None]:
+        """Hold the per-path CRC update lock (``with fs._crc_lock(p):``).
+
+        Entries are refcounted so the LRU eviction below can never hand
+        two concurrent holders of the same live path different lock
+        objects: an entry is only evictable while its refcount is zero,
+        and the refcount is taken under the guard before the lock is
+        ever acquired.
+        """
         with self._crc_locks_guard:
-            return self._crc_locks.setdefault(path, threading.Lock())
+            entry = self._crc_locks.get(path)
+            if entry is None:
+                entry = _CrcLockEntry()
+                self._crc_locks[path] = entry
+            entry.refs += 1
+            self._crc_locks.move_to_end(path)
+            if len(self._crc_locks) > self._crc_lock_cap:
+                for stale in list(self._crc_locks):
+                    if len(self._crc_locks) <= self._crc_lock_cap:
+                        break
+                    if self._crc_locks[stale].refs == 0:
+                        del self._crc_locks[stale]
+        entry.lock.acquire()
+        try:
+            yield
+        finally:
+            entry.lock.release()
+            with self._crc_locks_guard:
+                entry.refs -= 1
 
     def _evict_crc_lock(self, path: str) -> None:
+        # the path is dead (removed/renamed): drop its entry regardless
+        # of refcount — in-flight holders keep their entry object alive
+        # and finish against subfiles that are going away anyway
         with self._crc_locks_guard:
             self._crc_locks.pop(path, None)
 
@@ -306,9 +371,14 @@ class DPFS:
         self._evict_crc_lock(path)
 
     # -- recovery --------------------------------------------------------------
-    def recover(self) -> RecoveryReport:
-        """Roll every pending intent forward or back (``dpfs recover``)."""
-        return _recover_intents(self)
+    def recover(self, min_age_s: float = 0.0) -> RecoveryReport:
+        """Roll every pending intent forward or back (``dpfs recover``).
+
+        An explicit call sweeps everything; the mount-time auto sweep
+        passes ``min_age_s=recover_grace_s`` so it leaves a live
+        concurrent client's fresh intents alone.
+        """
+        return _recover_intents(self, min_age_s)
 
     # -- namespace ------------------------------------------------------------
     def mkdir(self, path: str) -> None:
@@ -344,9 +414,10 @@ class DPFS:
         """rm — journalled: drop metadata (the commit point), then delete
         every server's subfiles (replicas too).
 
-        The metadata drop is one SQL transaction; the subfile deletes
-        fan out through the dispatcher and run on *every* server even
-        when some fail, so one DOWN server no longer strands the rest.
+        The metadata drop and the intent's commit-step mark share one
+        SQL transaction; the subfile deletes fan out through the
+        dispatcher and run on *every* server even when some fail, so
+        one DOWN server no longer strands the rest.
         Failures surface as one :class:`MultiServerError` and leave the
         intent journalled for a later recovery sweep to finish.
         """
@@ -361,11 +432,16 @@ class DPFS:
         )
         crashpoint(CP_REMOVE_AFTER_INTENT)
         try:
-            self.meta.remove_file(norm)
+            # commit point: the metadata drop and the intent mark that
+            # records it are ONE transaction, so recovery can never see
+            # a committed remove whose commit step looks unreached
+            with self.db.transaction():
+                self.meta.remove_file(norm)
+                crashpoint(CP_REMOVE_IN_COMMIT)
+                self.intents.mark(intent, "remove-metadata")
         except Exception:
             self.intents.retire(intent)
             raise
-        self.intents.mark(intent, "remove-metadata")
         crashpoint(CP_REMOVE_AFTER_METADATA)
         self._forget_path(norm)
         self._redo_remove_subfiles(norm)   # raises MultiServerError, intent kept
@@ -398,11 +474,14 @@ class DPFS:
         )
         crashpoint(CP_RENAME_AFTER_INTENT)
         try:
-            self.meta.rename_file(old_norm, new_norm)
+            # commit point: metadata re-key + intent mark, atomically
+            with self.db.transaction():
+                self.meta.rename_file(old_norm, new_norm)
+                crashpoint(CP_RENAME_IN_COMMIT)
+                self.intents.mark(intent, "rekey-metadata")
         except Exception:
             self.intents.retire(intent)
             raise
-        self.intents.mark(intent, "rekey-metadata")
         crashpoint(CP_RENAME_AFTER_METADATA)
         self._forget_path(old_norm)
         self._redo_rename_subfiles(old_norm, new_norm, replicated)
@@ -731,19 +810,26 @@ class DPFS:
             self._redo_create_subfiles(norm, replicated)
             self.intents.mark(intent, "create-subfiles")
             crashpoint(CP_CREATE_AFTER_SUBFILES)
-            self.meta.create_file(
-                record, brick_map, self._server_names, replica_map
-            )
+            # commit point: metadata insert + intent mark, atomically
+            with self.db.transaction():
+                self.meta.create_file(
+                    record, brick_map, self._server_names, replica_map
+                )
+                crashpoint(CP_CREATE_IN_COMMIT)
+                self.intents.mark(intent, "write-metadata")
         except Exception:
             # undo whatever subfiles landed; if even that fails, the
-            # intent stays journalled and the next sweep rolls it back
+            # intent stays journalled and the next sweep rolls it back.
+            # When the path now exists in metadata, a concurrent create
+            # won the race (ours raised FileExists): the subfiles belong
+            # to the winner's file, so only the intent is dropped.
             try:
-                self._undo_create_subfiles(norm)
+                if not self.meta.file_exists(norm):
+                    self._undo_create_subfiles(norm)
                 self.intents.retire(intent)
             except Exception:  # noqa: BLE001 - recovery owns the rest
                 pass
             raise
-        self.intents.mark(intent, "write-metadata")
         crashpoint(CP_CREATE_AFTER_METADATA)
         self.intents.retire(intent)
         return record, brick_map, replica_map
@@ -816,18 +902,21 @@ class DPFS:
             )
             crashpoint(CP_GROW_AFTER_INTENT)
             try:
-                self.meta.grow_file(
-                    record.path,
-                    handle.brick_map,
-                    record.brick_sizes,
-                    self._server_names,
-                    replica_map if record.replicas > 1 else None,
-                    new_size,
-                )
+                # commit point: metadata growth + intent mark, atomically
+                with self.db.transaction():
+                    self.meta.grow_file(
+                        record.path,
+                        handle.brick_map,
+                        record.brick_sizes,
+                        self._server_names,
+                        replica_map if record.replicas > 1 else None,
+                        new_size,
+                    )
+                    crashpoint(CP_GROW_IN_COMMIT)
+                    self.intents.mark(intent, "update-metadata")
             except Exception:
                 self.intents.retire(intent)
                 raise
-            self.intents.mark(intent, "update-metadata")
             crashpoint(CP_GROW_AFTER_METADATA)
             self.intents.retire(intent)
         else:

@@ -27,16 +27,22 @@ safe and the only useful recovery).
 
 Recovery runs automatically when a :class:`~repro.core.filesystem.DPFS`
 instance is constructed (``auto_recover=True``, the default) and on
-demand through ``dpfs recover`` / :meth:`DPFS.recover`.  ``dpfs fsck``
-surfaces still-pending intents as ``pending-intent`` findings.
+demand through ``dpfs recover`` / :meth:`DPFS.recover`.  The automatic
+mount-time sweep only touches intents older than the mount's
+``recover_grace_s`` (intents are stamped with their creation time), so
+a second mount sharing the metadata database cannot roll back an
+operation a *live* client is still executing; the explicit calls sweep
+every pending intent regardless of age.  ``dpfs fsck`` surfaces
+still-pending intents as ``pending-intent`` findings.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
-from ..errors import IntentError
+from ..errors import IntentError, MetaDBError
 from ..metadb import Database
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -61,6 +67,14 @@ class Intent:
     steps: list[str]
     done: list[str]
     commit_step: str
+    #: wall-clock creation time (``time.time()``); lets recovery tell a
+    #: freshly-begun intent of a *live* client from one a dead client
+    #: abandoned.  0.0 for rows migrated from pre-timestamp journals.
+    created_at: float = 0.0
+
+    def age_s(self, now: float | None = None) -> float:
+        """Seconds since the intent was journalled."""
+        return (time.time() if now is None else now) - self.created_at
 
     @property
     def committed(self) -> bool:
@@ -87,8 +101,52 @@ class IntentLog:
             " args JSON NOT NULL,"
             " steps JSON NOT NULL,"
             " done JSON NOT NULL,"
-            " commit_step TEXT NOT NULL)"
+            " commit_step TEXT NOT NULL,"
+            " created_at REAL NOT NULL)"
         )
+        self._migrate_missing_created_at()
+
+    def _migrate_missing_created_at(self) -> None:
+        """Rebuild a pre-timestamp journal with ``created_at`` rows.
+
+        Migrated intents get ``created_at = 0.0`` — infinitely old — so
+        a recovery sweep with any grace period still picks them up (a
+        journal left by an older client is by definition abandoned).
+        """
+        try:
+            self.db.execute("SELECT created_at FROM dpfs_intent")
+            return
+        except MetaDBError:
+            pass
+        rows = self.db.execute(
+            "SELECT intent_id, op, args, steps, done, commit_step "
+            "FROM dpfs_intent"
+        ).rows
+        with self.db.transaction():
+            self.db.execute("DROP TABLE dpfs_intent")
+            self.db.execute(
+                "CREATE TABLE dpfs_intent ("
+                " intent_id TEXT PRIMARY KEY,"
+                " op TEXT NOT NULL,"
+                " args JSON NOT NULL,"
+                " steps JSON NOT NULL,"
+                " done JSON NOT NULL,"
+                " commit_step TEXT NOT NULL,"
+                " created_at REAL NOT NULL)"
+            )
+            for row in rows:
+                self.db.execute(
+                    "INSERT INTO dpfs_intent VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        row["intent_id"],
+                        row["op"],
+                        row["args"],
+                        row["steps"],
+                        row["done"],
+                        row["commit_step"],
+                        0.0,
+                    ],
+                )
 
     # ------------------------------------------------------------------
     def begin(
@@ -120,9 +178,10 @@ class IntentLog:
                 steps=list(steps),
                 done=[],
                 commit_step=commit_step,
+                created_at=time.time(),
             )
             self.db.execute(
-                "INSERT INTO dpfs_intent VALUES (?, ?, ?, ?, ?, ?)",
+                "INSERT INTO dpfs_intent VALUES (?, ?, ?, ?, ?, ?, ?)",
                 [
                     intent.intent_id,
                     intent.op,
@@ -130,6 +189,7 @@ class IntentLog:
                     intent.steps,
                     intent.done,
                     intent.commit_step,
+                    intent.created_at,
                 ],
             )
         return intent
@@ -153,23 +213,33 @@ class IntentLog:
             "DELETE FROM dpfs_intent WHERE intent_id = ?", [intent.intent_id]
         )
 
-    def pending(self) -> list[Intent]:
-        """Every unretired intent, oldest first."""
+    def pending(self, min_age_s: float = 0.0) -> list[Intent]:
+        """Every unretired intent, oldest first.
+
+        ``min_age_s`` filters to intents journalled at least that many
+        seconds ago — the mount-time auto-recovery sweep uses it as a
+        grace period so a *live* concurrent client's in-flight intents
+        are never mistaken for crash debris.
+        """
         rows = self.db.execute(
-            "SELECT intent_id, op, args, steps, done, commit_step "
-            "FROM dpfs_intent ORDER BY intent_id"
+            "SELECT intent_id, op, args, steps, done, commit_step, "
+            "created_at FROM dpfs_intent ORDER BY intent_id"
         ).rows
-        return [
-            Intent(
+        now = time.time()
+        intents = []
+        for row in rows:
+            intent = Intent(
                 intent_id=row["intent_id"],
                 op=row["op"],
                 args=dict(row["args"]),
                 steps=list(row["steps"]),
                 done=list(row["done"]),
                 commit_step=row["commit_step"],
+                created_at=float(row["created_at"]),
             )
-            for row in rows
-        ]
+            if intent.age_s(now) >= min_age_s:
+                intents.append(intent)
+        return intents
 
 
 # ---------------------------------------------------------------------------
@@ -226,6 +296,11 @@ def _forward_create(fs: "DPFS", args: dict[str, Any]) -> None:
 
 
 def _back_create(fs: "DPFS", args: dict[str, Any]) -> None:
+    # If the path exists in metadata, this (uncommitted) intent lost a
+    # create race: a concurrent winner committed and the subfiles now
+    # belong to *its* file.  Rolling them back would strand the winner.
+    if fs.meta.file_exists(args["path"]):
+        return
     fs._undo_create_subfiles(args["path"])
 
 
@@ -274,12 +349,18 @@ _BACK: dict[str, Callable[["DPFS", dict[str, Any]], None]] = {
 }
 
 
-def recover(fs: "DPFS") -> RecoveryReport:
+def recover(fs: "DPFS", min_age_s: float = 0.0) -> RecoveryReport:
     """Roll every pending intent forward or back; retire what succeeds.
 
     Failures (an unreachable server, say) leave the intent pending so a
     later sweep — or ``dpfs fsck --repair`` — can finish the job; they
     never abort the sweep for the remaining intents.
+
+    ``min_age_s`` limits the sweep to intents at least that old.  The
+    mount-time auto sweep passes the mount's recovery grace period so it
+    never "recovers" (i.e. corrupts) an operation a live client sharing
+    the metadata database is still executing; an explicit
+    ``dpfs recover`` / :meth:`DPFS.recover` call sweeps everything.
     """
     report = RecoveryReport()
     c_recovered = fs.metrics.counter(
@@ -290,7 +371,7 @@ def recover(fs: "DPFS") -> RecoveryReport:
         "dpfs_intents_stuck_total",
         "pending intents recovery could not resolve",
     )
-    for intent in fs.intents.pending():
+    for intent in fs.intents.pending(min_age_s):
         direction = "forward" if intent.committed else "back"
         handler = (_FORWARD if intent.committed else _BACK).get(intent.op)
         if handler is None:

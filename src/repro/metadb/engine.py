@@ -95,6 +95,7 @@ class Database:
         # transactions atomically (POSTGRES gave the paper this for free).
         self._lock = threading.RLock()
         self._in_txn = False
+        self._txn_owner: int | None = None
         self._undo: list[RedoOp] = []
         self._redo: list[RedoOp] = []
         self._plan_cache: dict[str, Statement] = {}
@@ -135,6 +136,7 @@ class Database:
         except BaseException:
             self._lock.release()
             raise
+        self._txn_owner = threading.get_ident()
 
     def commit(self) -> None:
         try:
@@ -144,6 +146,7 @@ class Database:
         except BaseException:
             self._lock.release()       # broken mid-commit: free the lock
             raise
+        self._txn_owner = None
         self._lock.release()
 
     def rollback(self) -> None:
@@ -154,6 +157,7 @@ class Database:
         except BaseException:
             self._lock.release()
             raise
+        self._txn_owner = None
         self._lock.release()
 
     def transaction(self) -> "_TransactionContext":
@@ -731,16 +735,35 @@ class _Reversor:
 
 
 class _TransactionContext:
-    """Context manager returned by :meth:`Database.transaction`."""
+    """Context manager returned by :meth:`Database.transaction`.
+
+    Nesting joins: entered while a transaction is already open (same
+    thread — the database lock is an RLock held by the outer one), the
+    inner context becomes part of the outer transaction and neither
+    commits nor rolls back on its own.  This lets a caller make a
+    multi-operation sequence atomic — e.g. a metadata commit plus the
+    intent-journal mark of that commit — even though each operation
+    opens ``db.transaction()`` internally.
+    """
 
     def __init__(self, db: Database) -> None:
         self.db = db
+        self._owns = False
 
     def __enter__(self) -> Database:
-        self.db.begin()
+        # join only a transaction *this thread* opened; another thread's
+        # transaction makes begin() block on the database lock as before
+        if not (
+            self.db.in_transaction
+            and self.db._txn_owner == threading.get_ident()
+        ):
+            self.db.begin()
+            self._owns = True
         return self.db
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._owns:
+            return False  # the outermost context commits or rolls back
         if exc_type is None:
             self.db.commit()
         else:

@@ -17,7 +17,12 @@ BRICK = 256
 
 
 def _mount(backend, db, *, auto_recover=True):
-    return DPFS(backend, db, io_workers=1, auto_recover=auto_recover)
+    # grace 0: the remount models an operator recovering a known-dead
+    # client (the grace period protects live mounts, tested elsewhere)
+    return DPFS(
+        backend, db, io_workers=1, auto_recover=auto_recover,
+        recover_grace_s=0.0,
+    )
 
 
 @st.composite

@@ -40,7 +40,14 @@ def lhint(size, replicas=1):
 
 
 def _mount(backend, db, *, auto_recover=True):
-    return DPFS(backend, db, io_workers=1, auto_recover=auto_recover)
+    # recover_grace_s=0: these tests remount immediately after a
+    # simulated crash, standing in for an operator who *knows* the
+    # previous client is dead (the default grace period exists to
+    # protect live concurrent mounts, exercised in test_intent.py)
+    return DPFS(
+        backend, db, io_workers=1, auto_recover=auto_recover,
+        recover_grace_s=0.0,
+    )
 
 
 # -- per-operation setup / crashing mutation / old-or-new check --------------
@@ -146,16 +153,20 @@ SWEEP = [
     ("create", "filesystem.create.after_intent"),
     ("create", "filesystem.create.mid_subfiles"),
     ("create", "filesystem.create.after_subfiles"),
+    ("create", "filesystem.create.in_commit"),
     ("create", "filesystem.create.after_metadata"),
     ("remove", "filesystem.remove.after_intent"),
+    ("remove", "filesystem.remove.in_commit"),
     ("remove", "filesystem.remove.after_metadata"),
     ("remove", "filesystem.remove.mid_subfiles"),
     ("remove", "filesystem.remove.after_subfiles"),
     ("rename", "filesystem.rename.after_intent"),
+    ("rename", "filesystem.rename.in_commit"),
     ("rename", "filesystem.rename.after_metadata"),
     ("rename", "filesystem.rename.mid_subfiles"),
     ("rename", "filesystem.rename.after_subfiles"),
     ("grow", "filesystem.grow.after_intent"),
+    ("grow", "filesystem.grow.in_commit"),
     ("grow", "filesystem.grow.after_metadata"),
     ("refill", "filesystem.refill.after_intent"),
     ("refill", "filesystem.refill.mid_copy"),
@@ -192,6 +203,48 @@ def test_crash_then_recover_leaves_consistent_state(op, point):
     sreport = scrub(fs2)
     assert sreport.clean, str(sreport)
     check(fs2, ctx)
+
+
+def test_commit_step_mark_is_atomic_with_the_commit():
+    """The journal can never disagree with metadata about whether the
+    commit point was reached: the metadata commit and the intent's
+    commit-step mark share one transaction.  (Regression: a crash
+    between a committed rename and a separate mark statement used to
+    leave done=[] — recovery then 'rolled back' a committed rename and
+    stranded the data under the old subfile names.)"""
+    db = Database()
+    backend = MemoryBackend(4)
+    fs = _mount(backend, db, auto_recover=False)
+    fs.makedirs("/d")
+    fs.write_file("/d/f", DATA, lhint(len(DATA)))
+
+    # crash inside the commit transaction: neither the re-key nor the
+    # mark became durable
+    arm("filesystem.rename.in_commit")
+    try:
+        with pytest.raises(SimulatedCrash):
+            fs.rename("/d/f", "/d/g")
+    finally:
+        disarm()
+    (intent,) = fs.intents.pending()
+    assert intent.done == []
+    assert fs.exists("/d/f") and not fs.exists("/d/g")
+    fs.intents.retire(intent)
+
+    # crash right after the commit transaction: the re-key and the mark
+    # are both durable, so recovery must roll forward
+    arm("filesystem.rename.after_metadata")
+    try:
+        with pytest.raises(SimulatedCrash):
+            fs.rename("/d/f", "/d/g")
+    finally:
+        disarm()
+    (intent,) = fs.intents.pending()
+    assert "rekey-metadata" in intent.done
+    assert fs.exists("/d/g") and not fs.exists("/d/f")
+    assert fs.recover().clean
+    assert fs.read_file("/d/g") == DATA
+    assert fsck(fs).clean
 
 
 def test_recovery_itself_is_crash_safe():

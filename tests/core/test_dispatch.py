@@ -172,6 +172,31 @@ def test_timeout_names_the_stuck_server():
         d.shutdown()
 
 
+def test_timeout_is_collected_not_raised_with_collect_errors():
+    """``collect_errors=True`` promises every request a slot in the
+    result list even when one misses the batch deadline: the timed-out
+    slot holds a DispatchTimeout and the other slots still report their
+    own outcomes instead of the batch aborting mid-collection."""
+    release = threading.Event()
+
+    def fn(item):
+        if item.server == 1:
+            release.wait(timeout=30)
+        return item.server
+
+    policy = DispatchPolicy(max_workers=3, timeout_s=0.2)
+    d = Dispatcher(policy)
+    try:
+        results = d.run(make_items(3), fn, collect_errors=True)
+        assert results[0] == 0
+        assert isinstance(results[1], DispatchTimeout)
+        assert results[2] == 2
+        assert d.stats.timeouts == 1
+    finally:
+        release.set()
+        d.shutdown()
+
+
 def test_timeout_is_one_deadline_from_submission():
     """``timeout_s`` bounds the whole batch, not each sequential future
     wait: with 2 workers chewing through 6 × 0.15 s requests (0.45 s of

@@ -8,7 +8,7 @@ from repro.backends.faulty import FaultyBackend, InjectedFault
 from repro.backends.memory import MemoryBackend
 from repro.core import DPFS, Hint, fsck
 from repro.core.intent import IntentLog
-from repro.errors import FileNotFound, IntentError, MultiServerError
+from repro.errors import FileExists, FileNotFound, IntentError, MultiServerError
 from repro.metadb import Database
 
 BRICK = 1024
@@ -139,10 +139,54 @@ def test_mount_time_recovery_runs_by_default():
     backend = MemoryBackend(2)
     fs = DPFS(backend, db, auto_recover=False)
     fs.intents.begin("remove", {"path": "/ghost"}, ["remove-metadata"], "")
+    # age the intent past any grace period: its client is long dead
+    db.execute("UPDATE dpfs_intent SET created_at = 0.0")
     fs2 = DPFS(backend, db)
     assert fs2.last_recovery is not None
     assert len(fs2.last_recovery.actions) == 1
     assert fs2.intents.pending() == []
+
+
+def test_mount_time_recovery_spares_fresh_intents():
+    """A second mount over a shared metadata database must not roll
+    back an intent a *live* client journalled moments ago — mount-time
+    recovery only touches intents older than the recovery grace
+    period.  An explicit recover() still sweeps everything."""
+    db = Database()
+    backend = MemoryBackend(2)
+    fs = DPFS(backend, db, auto_recover=False)
+    fs.intents.begin("remove", {"path": "/live"}, ["remove-metadata"], "")
+    fs2 = DPFS(backend, db)  # default grace period
+    assert fs2.last_recovery is not None
+    assert fs2.last_recovery.actions == []
+    assert len(fs2.intents.pending()) == 1
+    # the operator-invoked sweep (dpfs recover) ignores the grace period
+    assert fs2.recover().clean
+    assert fs2.intents.pending() == []
+
+
+def test_journal_without_timestamps_migrates_as_abandoned(tmp_path):
+    """Rows from a pre-``created_at`` journal come back infinitely old,
+    so any grace period still lets recovery claim them."""
+    meta = tmp_path / "meta.db"
+    db = Database(meta)
+    db.execute(
+        "CREATE TABLE dpfs_intent ("
+        " intent_id TEXT PRIMARY KEY,"
+        " op TEXT NOT NULL,"
+        " args JSON NOT NULL,"
+        " steps JSON NOT NULL,"
+        " done JSON NOT NULL,"
+        " commit_step TEXT NOT NULL)"
+    )
+    db.execute(
+        "INSERT INTO dpfs_intent VALUES (?, ?, ?, ?, ?, ?)",
+        ["i00000001", "remove", {"path": "/old"}, ["remove-metadata"], [], ""],
+    )
+    log = IntentLog(db)
+    (got,) = log.pending(min_age_s=3600.0)
+    assert got.intent_id == "i00000001"
+    assert got.created_at == 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -193,6 +237,57 @@ def test_rename_applies_to_all_servers_despite_failure():
     assert fs.read_file("/new") == data
 
 
+def test_create_loser_keeps_winners_subfiles():
+    """Two clients race to create the same path; the loser's rollback
+    must not delete the subfiles the winner's committed metadata now
+    references."""
+    db = Database()
+    backend = MemoryBackend(2)
+    fs = DPFS(backend, db, io_workers=1, auto_recover=False)
+    winner = DPFS(backend, db, io_workers=1, auto_recover=False)
+    fs.makedirs("/d")
+    payload = b"w" * BRICK
+
+    # interleave: right after the loser creates its subfiles (and
+    # before its metadata commit), the winner commits the same path
+    real_mark = fs.intents.mark
+
+    def mark_then_lose_race(intent, step):
+        real_mark(intent, step)
+        if step == "create-subfiles":
+            winner.write_file("/d/f", payload, lhint(BRICK))
+
+    fs.intents.mark = mark_then_lose_race
+    with pytest.raises(FileExists):
+        fs.write_file("/d/f", b"l" * BRICK, lhint(BRICK))
+    fs.intents.mark = real_mark
+
+    # the winner's file survives, subfiles intact, no intent debris
+    assert fs.read_file("/d/f") == payload
+    assert fs.intents.pending() == []
+    assert fsck(fs).clean
+
+
+def test_recovery_rollback_spares_subfiles_of_existing_file():
+    """Rolling back an uncommitted create intent whose path *does*
+    exist in metadata (a concurrent winner committed it) must leave the
+    winner's subfiles alone."""
+    fs = DPFS.memory(n_servers=2, auto_recover=False)
+    payload = b"d" * BRICK
+    fs.write_file("/f", payload, lhint(BRICK))
+    # a crashed loser's intent for the same path, never committed
+    fs.intents.begin(
+        "create",
+        {"path": "/f"},
+        ["create-subfiles", "write-metadata"],
+        "write-metadata",
+    )
+    assert fs.recover().clean
+    assert fs.intents.pending() == []
+    assert fs.read_file("/f") == payload
+    assert fsck(fs).clean
+
+
 def test_remove_missing_file_still_raises_file_not_found():
     fs = DPFS.memory(n_servers=2)
     with pytest.raises(FileNotFound):
@@ -225,6 +320,17 @@ def test_crc_lock_map_does_not_retain_deleted_paths():
         fs.remove(path)
         assert path not in fs._crc_locks
     assert fs._crc_locks == {}
+
+
+def test_crc_lock_map_is_bounded_for_live_paths():
+    """Even without removes, the lock map cannot grow without bound: an
+    LRU cap evicts idle entries of live paths."""
+    fs = DPFS.memory(n_servers=2)
+    fs._crc_lock_cap = 4
+    for i in range(12):
+        fs.write_file(f"/f{i}", bytes(BRICK), lhint(BRICK))
+    assert len(fs._crc_locks) <= 4
+    assert "/f11" in fs._crc_locks  # most recent stays
 
 
 def test_crc_lock_map_rekeys_on_rename():

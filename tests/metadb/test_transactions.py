@@ -112,6 +112,43 @@ def test_transaction_context_rolls_back_on_error(db):
     assert not db.in_transaction
 
 
+def test_nested_transaction_context_joins_outer(db):
+    """A ``transaction()`` context opened inside another joins it: one
+    atomic unit, committed (or rolled back) by the outermost context.
+    This is what lets a metadata commit and the intent-journal mark of
+    that commit share a single transaction even though each helper
+    opens ``db.transaction()`` itself."""
+    with db.transaction():
+        db.execute("INSERT INTO t VALUES ('c', 3)")
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES ('d', 4)")
+        # inner exit must not have committed anything yet
+        assert db.in_transaction
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 4
+
+
+def test_nested_transaction_rolls_back_as_one_unit(db):
+    with pytest.raises(RuntimeError):
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES ('c', 3)")
+            with db.transaction():
+                db.execute("INSERT INTO t VALUES ('d', 4)")
+            raise RuntimeError("abort after inner exit")
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+    assert not db.in_transaction
+
+
+def test_inner_transaction_failure_rolls_back_outer_work(db):
+    with pytest.raises(RuntimeError):
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES ('c', 3)")
+            with db.transaction():
+                db.execute("INSERT INTO t VALUES ('d', 4)")
+                raise RuntimeError("abort inside inner")
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+    assert not db.in_transaction
+
+
 def test_reads_inside_transaction_see_own_writes(db):
     with db.transaction():
         db.execute("UPDATE t SET v = 100 WHERE k = 'a'")

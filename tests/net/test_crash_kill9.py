@@ -73,7 +73,11 @@ def test_kill9_mid_rename_recovers_on_remount(tmp_path):
 
             # the dead client committed the metadata re-key but never
             # touched the subfiles; mounting the same database recovers
-            fs = DPFS.remote(addrs, db=Database(meta), io_workers=1)
+            # (grace 0: the operator remounting here knows the previous
+            # client is dead, so the live-mount grace period is waived)
+            fs = DPFS.remote(
+                addrs, db=Database(meta), io_workers=1, recover_grace_s=0.0
+            )
             try:
                 assert fs.last_recovery is not None
                 assert fs.last_recovery.clean, str(fs.last_recovery)
